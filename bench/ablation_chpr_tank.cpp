@@ -1,0 +1,85 @@
+// Ablation: CHPr efficacy vs the thermal battery it rides on.
+//
+// The paper uses a 50-gallon tank and notes water heaters have "a large
+// thermal energy storage capacity relative to the electricity usage of most
+// homes". This bench sweeps tank size and the allowed thermal ceiling to
+// show how much storage the masking actually needs, what it costs, and when
+// comfort starts to suffer.
+#include <iostream>
+
+#include "common/table.h"
+#include "defense/chpr.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+
+using namespace pmiot;
+
+int main() {
+  auto config = synth::home_b();
+  std::vector<synth::ApplianceSpec> appliances;
+  for (const auto& spec : config.appliances) {
+    if (spec.name != "water_heater") appliances.push_back(spec);
+  }
+  config.appliances = appliances;
+
+  Rng rng(11);
+  const auto home =
+      synth::simulate_home(config, CivilDate{2017, 6, 5}, 14, rng);
+  Rng draw_rng(12);
+  const auto draws = defense::simulate_hot_water_draws(home.occupancy,
+                                                       draw_rng);
+
+  niom::ThresholdNiom attack;
+  // Raw baseline with a conventional 50-gal thermostat.
+  {
+    const auto conventional =
+        defense::thermostat_schedule(defense::TankOptions{}, draws);
+    auto raw = home.aggregate;
+    for (std::size_t t = 0; t < raw.size(); ++t) raw[t] += conventional[t];
+    const auto report =
+        niom::evaluate(attack, raw, home.occupancy, niom::waking_hours());
+    std::cout
+        << "==============================================================\n"
+           "Ablation — CHPr vs tank size / thermal ceiling (Home-B, 14 d)\n"
+           "Baseline NIOM MCC without CHPr: "
+        << format_double(report.mcc, 3)
+        << "\n==============================================================\n\n";
+  }
+
+  Table table({"tank (gal)", "ceiling (C)", "NIOM MCC", "heater kWh/wk",
+               "comfort viol. (min)", "tank min C"});
+  struct Case {
+    double gallons;
+    double ceiling;
+  };
+  for (const auto& c : {Case{30, 70}, Case{50, 60}, Case{50, 65}, Case{50, 70},
+                        Case{80, 70}, Case{80, 80}}) {
+    defense::ChprOptions options;
+    options.tank.volume_liters = c.gallons * 3.785;
+    options.tank.max_temp_c = c.ceiling;
+    Rng chpr_rng(13);
+    const auto result =
+        defense::apply_chpr(home.aggregate, draws, options, chpr_rng);
+    const auto report = niom::evaluate(attack, result.masked, home.occupancy,
+                                       niom::waking_hours());
+    double tank_min = result.tank_temp_c.front();
+    for (double temp : result.tank_temp_c) tank_min = std::min(tank_min, temp);
+    table.add_row()
+        .cell(c.gallons, 0)
+        .cell(c.ceiling, 0)
+        .cell(report.mcc)
+        .cell(result.heater_energy_kwh / 2.0, 1)
+        .cell(result.comfort_violation_minutes)
+        .cell(tank_min, 1);
+  }
+  table.print(std::cout, "CHPr sweep");
+
+  std::cout
+      << "\nReading: the masking budget is the tank's usable thermal band\n"
+         "(volume x ceiling headroom). A 30-gal tank or a tight ceiling\n"
+         "leaves fewer burst opportunities, so more occupancy leaks; a\n"
+         "bigger/hotter tank masks better at higher standing losses. The\n"
+         "paper's 50-gal / 70 C point is a sensible middle of this curve.\n";
+  return 0;
+}

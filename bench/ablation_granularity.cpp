@@ -1,0 +1,78 @@
+// Ablation: metering granularity as a privacy knob.
+//
+// The paper's §II-A notes smart meters record "at much finer granularities,
+// e.g., every few minutes rather than once per month" — and that this is
+// precisely what enables NIOM/NILM. This bench quantifies the knob the
+// regulator actually controls: how both attacks decay as the meter reports
+// at 1, 5, 15, 30, and 60-minute averages.
+#include <iostream>
+
+#include "common/table.h"
+#include "nilm/error.h"
+#include "nilm/powerplay.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+
+using namespace pmiot;
+
+int main() {
+  Rng rng(42);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 14, rng);
+
+  std::cout
+      << "==============================================================\n"
+         "Ablation — attack strength vs metering granularity (Home-B, 14 d)\n"
+         "==============================================================\n\n";
+
+  // PowerPlay models for the trackable loads in this home.
+  std::vector<nilm::LoadModel> models;
+  for (const auto& name : {"fridge", "freezer", "dryer", "hrv"}) {
+    for (const auto& spec : synth::home_b().appliances) {
+      if (spec.name == name) models.push_back(nilm::LoadModel::from_spec(spec));
+    }
+  }
+  nilm::PowerPlay tracker(models);
+
+  Table table({"interval (min)", "NIOM acc", "NIOM MCC", "NILM mean error"});
+  niom::ThresholdNiom attack;
+  for (int minutes : {1, 5, 15, 30, 60}) {
+    const auto coarse = home.aggregate.resample(minutes * 60);
+
+    niom::ThresholdNiom::Options options;
+    options.window_minutes = std::max(15, minutes);
+    niom::ThresholdNiom scaled_attack(options);
+    const auto report = niom::evaluate(scaled_attack, coarse, home.occupancy,
+                                       niom::waking_hours());
+
+    // PowerPlay on the coarse data: the load edges smear out.
+    const auto tracked = tracker.track(coarse);
+    double nilm_error = 0.0;
+    int counted = 0;
+    for (std::size_t i = 0; i < tracked.size(); ++i) {
+      const auto idx = home.appliance_index(tracked[i].name);
+      const auto actual = home.per_appliance[idx].resample(minutes * 60);
+      if (actual.energy_kwh() <= 0.0) continue;
+      nilm_error += std::min(
+          2.0, nilm::disaggregation_error(tracked[i].power, actual.values()));
+      ++counted;
+    }
+    table.add_row()
+        .cell(minutes)
+        .cell(report.accuracy)
+        .cell(report.mcc)
+        .cell(counted ? nilm_error / counted : 0.0);
+  }
+  table.print(std::cout, "Attack strength vs reporting interval");
+
+  std::cout
+      << "\nReading: NILM collapses once the averaging window exceeds an\n"
+         "appliance cycle (the step edges vanish), but occupancy detection\n"
+         "is untouched — it even *improves* on coarse data, because\n"
+         "averaging strips appliance noise while the mean-usage channel\n"
+         "NIOM keys on persists. Coarse reporting is therefore no occupancy\n"
+         "defense at all, which is why the paper's defenses (CHPr, NILL)\n"
+         "actively move load instead.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation: which of PowerPlay's tracking mechanisms carry its Figure-2
+// robustness to unmodelled loads?
+//
+// Mechanisms under test (all derived from the a priori load models):
+//   * level check  — the virtual-sensor consistency condition (the residual
+//     aggregate must keep containing a tracked-on load's draw),
+//   * paired edges — short-run loads must present both their on and off edge,
+//   * refractory   — thermostatic loads cannot restart mid-duty-cycle.
+// Each row disables one mechanism; the last row disables all three.
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "nilm/error.h"
+#include "nilm/powerplay.h"
+#include "synth/home.h"
+
+using namespace pmiot;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  bool level_check = true;
+  bool paired_edges = true;
+  bool refractory = true;
+};
+
+std::map<std::string, double> run_variant(const Variant& variant,
+                                          const std::vector<std::uint64_t>& seeds) {
+  const std::vector<std::string> devices = {"toaster", "fridge", "freezer",
+                                            "dryer", "hrv"};
+  const auto config = synth::fig2_home();
+  std::map<std::string, double> errors;
+  std::map<std::string, int> counts;
+  for (auto seed : seeds) {
+    Rng rng(seed);
+    const auto trace =
+        synth::simulate_home(config, CivilDate{2017, 6, 1}, 7, rng);
+    std::vector<nilm::LoadModel> models;
+    for (const auto& name : devices) {
+      for (const auto& spec : config.appliances) {
+        if (spec.name != name) continue;
+        auto model = nilm::LoadModel::from_spec(spec);
+        model.level_check = variant.level_check && model.level_check;
+        if (!variant.paired_edges) model.require_paired_off_edge = false;
+        if (!variant.refractory) model.refractory_fraction = 0.0;
+        models.push_back(model);
+      }
+    }
+    nilm::PowerPlay tracker(models);
+    const auto tracked = tracker.track(trace.aggregate);
+    for (std::size_t i = 0; i < tracked.size(); ++i) {
+      const auto idx = trace.appliance_index(tracked[i].name);
+      if (trace.per_appliance[idx].energy_kwh() <= 0.0) continue;
+      errors[tracked[i].name] += nilm::disaggregation_error(
+          tracked[i].power, trace.per_appliance[idx].values());
+      ++counts[tracked[i].name];
+    }
+  }
+  for (auto& [name, total] : errors) total /= counts[name];
+  return errors;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint64_t> seeds = {2024, 7, 99};
+  const std::vector<Variant> variants = {
+      {"full PowerPlay", true, true, true},
+      {"no level check", false, true, true},
+      {"no paired edges", true, false, true},
+      {"no refractory gate", true, true, false},
+      {"edges only (all off)", false, false, false},
+  };
+
+  std::cout
+      << "==============================================================\n"
+         "Ablation — PowerPlay tracking mechanisms (Fig-2 home, 3 seeds)\n"
+         "Cells: disaggregation error factor (lower is better).\n"
+         "==============================================================\n\n";
+
+  Table table({"variant", "toaster", "fridge", "freezer", "dryer", "hrv",
+               "mean"});
+  for (const auto& variant : variants) {
+    const auto errors = run_variant(variant, seeds);
+    double mean = 0.0;
+    table.add_row().cell(variant.name);
+    for (const auto& device : {"toaster", "fridge", "freezer", "dryer", "hrv"}) {
+      const double err = errors.count(device) ? errors.at(device) : 0.0;
+      table.cell(err);
+      mean += err;
+    }
+    table.cell(mean / 5.0);
+  }
+  table.print(std::cout, "Per-device error by disabled mechanism");
+
+  std::cout
+      << "\nReading: the level check is what keeps missed off-edges from\n"
+         "pinning loads on (biggest effect on the dryer and cyclical loads);\n"
+         "paired-edge confirmation suppresses the toaster's false positives\n"
+         "among unmodelled-load churn; the refractory gate trims spurious\n"
+         "rapid re-triggers of the compressor loads.\n";
+  return 0;
+}

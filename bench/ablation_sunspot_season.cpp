@@ -1,0 +1,64 @@
+// Ablation: SunSpot accuracy across the year.
+//
+// The latitude leg of the inversion reads latitude out of the day length,
+// and day length's sensitivity to latitude scales with |solar declination|:
+// strongest at the solstices, zero at the equinoxes (every latitude sees a
+// 12-hour day). This bench quantifies how much the attack's accuracy
+// depends on *when* the 30-day observation window falls — and shows the
+// longitude leg (solar noon) doesn't care.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "solar/sunspot.h"
+#include "synth/solar_gen.h"
+
+using namespace pmiot;
+
+int main() {
+  const synth::SolarSite site{"s", {42.39, -72.53}, 6.0, 0.85, 1.0, 0.01};
+  constexpr int kWindowDays = 30;
+
+  std::cout
+      << "==============================================================\n"
+         "Ablation — SunSpot vs season (one site, 30-day windows)\n"
+         "Day-length sensitivity to latitude vanishes at the equinoxes.\n"
+         "==============================================================\n\n";
+
+  Table table({"window start", "|declination| (deg)", "lat error (deg)",
+               "lon error (deg)", "total error (km)"});
+  struct Window {
+    CivilDate start;
+  };
+  for (const auto& window :
+       {Window{{2017, 1, 5}}, Window{{2017, 3, 6}}, Window{{2017, 4, 20}},
+        Window{{2017, 6, 6}}, Window{{2017, 9, 8}}, Window{{2017, 11, 20}}}) {
+    // Independent weather per window (the attack sees one 30-day trace).
+    const synth::WeatherField weather(synth::WeatherOptions{}, window.start,
+                                      kWindowDays, 99);
+    Rng rng(5);
+    const auto generation =
+        synth::simulate_solar(site, weather, window.start, kWindowDays, rng);
+    const auto result = solar::sunspot_localize(generation);
+
+    const int mid_doy = day_of_year(add_days(window.start, kWindowDays / 2));
+    const double decl_deg =
+        std::abs(geo::declination_rad(mid_doy)) * 180.0 / M_PI;
+    table.add_row()
+        .cell(to_string(window.start))
+        .cell(decl_deg, 1)
+        .cell(std::abs(result.estimate.lat - site.location.lat), 2)
+        .cell(std::abs(result.estimate.lon - site.location.lon), 2)
+        .cell(geo::haversine_km(result.estimate, site.location), 1);
+  }
+  table.print(std::cout, "Localization error by season");
+
+  std::cout
+      << "\nReading: longitude (from solar noon) is season-independent, but\n"
+         "the latitude estimate degrades as the window approaches an equinox\n"
+         "(the inverter falls back to a hemisphere prior when |decl| is\n"
+         "tiny). An attacker with data spanning seasons simply uses the\n"
+         "solstice-adjacent weeks — more reason 'anonymized' year-long solar\n"
+         "feeds cannot hide their location.\n";
+  return 0;
+}

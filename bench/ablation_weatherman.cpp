@@ -1,0 +1,100 @@
+// Ablation: what Weatherman's accuracy actually depends on.
+//
+// Two sweeps on the same site: (a) public-station density — the attacker
+// can only interpolate the weather field as finely as the stations sample
+// it; (b) observation-history length — each extra day of generation adds
+// daylight hours to correlate over.
+#include <iostream>
+
+#include "common/table.h"
+#include "solar/sunspot.h"
+#include "solar/weatherman.h"
+#include "synth/solar_gen.h"
+
+using namespace pmiot;
+
+namespace {
+
+std::vector<solar::StationObservation> observe(
+    const synth::WeatherField& weather,
+    const std::vector<synth::WeatherStation>& stations) {
+  std::vector<solar::StationObservation> out;
+  out.reserve(stations.size());
+  for (const auto& station : stations) {
+    out.push_back({station.name, station.location,
+                   weather.cloud_series(station.location)});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const CivilDate start{2017, 5, 1};
+  constexpr int kDays = 90;
+  const synth::WeatherOptions weather_options;
+  const synth::WeatherField weather(weather_options, start, kDays, 99);
+  const synth::SolarSite site{"s", {39.5, -96.5}, 6.0, 0.85, 1.0, 0.01};
+  Rng rng(5);
+  const auto generation =
+      synth::simulate_solar(site, weather, start, kDays, rng);
+  const auto sunspot = solar::sunspot_localize(generation);
+  const auto hourly = generation.resample(3600);
+
+  std::cout
+      << "==============================================================\n"
+         "Ablation — Weatherman accuracy drivers (one site, "
+      << kDays << " days)\nSunSpot seed error: "
+      << format_double(geo::haversine_km(sunspot.estimate, site.location), 1)
+      << " km\n"
+         "==============================================================\n\n";
+
+  Table density({"station grid", "stations", "approx spacing (km)",
+                 "Weatherman error (km)"});
+  struct Grid {
+    int rows, cols;
+  };
+  for (const auto& grid : {Grid{5, 8}, Grid{10, 15}, Grid{20, 30},
+                           Grid{40, 60}, Grid{60, 90}}) {
+    const auto stations =
+        synth::make_station_grid(weather_options, grid.rows, grid.cols);
+    const auto observations = observe(weather, stations);
+    const auto result =
+        solar::weatherman_localize(hourly, sunspot.estimate, observations);
+    const double spacing =
+        (weather_options.lat_max - weather_options.lat_min) * 111.0 /
+        (grid.rows - 1);
+    density.add_row()
+        .cell(std::to_string(grid.rows) + "x" + std::to_string(grid.cols))
+        .cell(static_cast<long long>(stations.size()))
+        .cell(spacing, 0)
+        .cell(geo::haversine_km(result.estimate, site.location), 1);
+  }
+  density.print(std::cout, "(a) station density sweep");
+
+  std::cout << '\n';
+  Table history({"history (days)", "Weatherman error (km)"});
+  const auto stations = synth::make_station_grid(weather_options, 40, 60);
+  for (int days : {7, 14, 30, 60, 90}) {
+    const auto window = hourly.slice(0, static_cast<std::size_t>(days) * 24);
+    // Stations observed over the same window.
+    std::vector<solar::StationObservation> observations;
+    for (const auto& station : stations) {
+      auto series = weather.cloud_series(station.location);
+      series.resize(static_cast<std::size_t>(days) * 24);
+      observations.push_back({station.name, station.location, std::move(series)});
+    }
+    const auto result =
+        solar::weatherman_localize(window, sunspot.estimate, observations);
+    history.add_row().cell(days).cell(
+        geo::haversine_km(result.estimate, site.location), 1);
+  }
+  history.print(std::cout, "(b) observation-history sweep (40x60 stations)");
+
+  std::cout
+      << "\nReading: accuracy tracks station density far more than history\n"
+         "length — a couple of weeks of hourly data against a dense public\n"
+         "network already localizes the site, which is why the paper calls\n"
+         "'anonymized' solar data releases a real threat.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// §III-A evaluation: where differential privacy does and does not help.
+//
+// The paper argues DP fits *published aggregate datasets* (utility analytics
+// stay accurate while individuals stay hidden), but is the wrong tool for
+// the per-home stream a cloud service already receives. The epsilon sweep
+// quantifies both: neighborhood-aggregate relative error, and the NIOM
+// attack MCC on a single home's epsilon-noised released stream.
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "defense/dp.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+
+using namespace pmiot;
+
+int main() {
+  // A feeder-scale neighborhood at the granularity utilities actually
+  // release: hourly totals over a couple hundred homes.
+  constexpr int kHomes = 200;
+  constexpr int kDays = 7;
+  constexpr double kSensitivityKw = 10.0;  // residential service-panel bound
+
+  const auto population = synth::home_population(kHomes);
+  std::vector<ts::TimeSeries> hourly;
+  synth::HomeTrace probe_home = [] {
+    Rng rng(30);
+    return synth::simulate_home(synth::home_population(1)[0],
+                                CivilDate{2017, 6, 5}, kDays, rng);
+  }();
+  Rng rng(31);
+  for (const auto& config : population) {
+    hourly.push_back(
+        synth::simulate_home(config, CivilDate{2017, 6, 5}, kDays, rng)
+            .aggregate.resample(3600));
+  }
+
+  std::cout
+      << "==============================================================\n"
+         "SIII-A — differential privacy: utility vs leakage across epsilon\n"
+      << kHomes << " homes x " << kDays
+      << " days; hourly aggregate release, Laplace mechanism, sensitivity "
+      << kSensitivityKw
+      << " kW.\n"
+         "==============================================================\n\n";
+
+  niom::ThresholdNiom attack;
+  const auto raw_report = niom::evaluate(
+      attack, probe_home.aggregate, probe_home.occupancy, niom::waking_hours());
+
+  Table table({"epsilon", "aggregate rel. error", "single-home NIOM MCC",
+               "single-home NIOM acc"});
+  for (double epsilon : {0.05, 0.1, 0.5, 1.0, 5.0, 20.0}) {
+    Rng agg_rng(100);
+    const auto released =
+        defense::dp_aggregate(hourly, epsilon, kSensitivityKw, agg_rng);
+    const double agg_error = defense::aggregate_error(hourly, released);
+
+    Rng home_rng(200);
+    const auto noisy_home = defense::dp_single_home(
+        probe_home.aggregate, epsilon, kSensitivityKw, home_rng);
+    const auto report = niom::evaluate(attack, noisy_home,
+                                       probe_home.occupancy,
+                                       niom::waking_hours());
+    table.add_row()
+        .cell(epsilon, 2)
+        .cell(agg_error)
+        .cell(report.mcc)
+        .cell(report.accuracy);
+  }
+  table.print(std::cout, "epsilon sweep");
+
+  std::cout << "\n(no noise: single-home NIOM MCC "
+            << format_double(raw_report.mcc, 3) << ", accuracy "
+            << format_double(raw_report.accuracy, 3) << ")\n\n"
+            << "Reading the table (the paper's argument):\n"
+            << "  * strong epsilon (<= 0.1) kills the occupancy attack on a\n"
+               "    released single-home stream, but only because the data is\n"
+               "    destroyed for everyone, including the service;\n"
+            << "  * the neighborhood aggregate stays accurate even at small\n"
+               "    epsilon, so DP is the right tool for published datasets\n"
+               "    while per-home streams need other defenses (CHPr etc.).\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 2 reproduction: disaggregation error factor for PowerPlay vs the
+// conventional FHMM baseline on the five tracked devices (toaster, fridge,
+// freezer, dryer, HRV), in a home that also contains untracked interactive
+// loads ("noisy smart meter data").
+//
+// Paper shape: PowerPlay clearly lower error for the small loads; FHMM near
+// or above 1.0 for them; both accurate on the big dryer (the "exception").
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "nilm/error.h"
+#include "nilm/fhmm_nilm.h"
+#include "nilm/powerplay.h"
+#include "synth/home.h"
+
+using namespace pmiot;
+
+int main() {
+  const std::vector<std::string> devices = {"toaster", "fridge", "freezer",
+                                            "dryer", "hrv"};
+  const auto config = synth::fig2_home();
+  constexpr int kTrainDays = 14;
+  constexpr int kTestDays = 7;
+  const std::vector<std::uint64_t> seeds = {2024, 7, 99};
+
+  std::map<std::string, double> powerplay_err, fhmm_err;
+  std::map<std::string, int> counted;
+
+  for (auto seed : seeds) {
+    Rng rng(seed);
+    const auto train =
+        synth::simulate_home(config, CivilDate{2017, 5, 1}, kTrainDays, rng);
+    const auto test =
+        synth::simulate_home(config, CivilDate{2017, 6, 1}, kTestDays, rng);
+
+    // PowerPlay: a priori models of the tracked loads.
+    std::vector<nilm::LoadModel> models;
+    for (const auto& name : devices) {
+      for (const auto& spec : config.appliances) {
+        if (spec.name == name) {
+          models.push_back(nilm::LoadModel::from_spec(spec));
+        }
+      }
+    }
+    nilm::PowerPlay powerplay(models);
+    const auto tracked = powerplay.track(test.aggregate);
+
+    // FHMM: chains learned from submetered training data.
+    Rng fit_rng(seed + 1);
+    nilm::FhmmNilmOptions options;
+    options.states_per_appliance = 3;
+    nilm::FhmmNilm fhmm(train, devices, fit_rng, options);
+    const auto estimates = fhmm.disaggregate(test.aggregate);
+
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const auto idx = test.appliance_index(devices[i]);
+      const auto& actual = test.per_appliance[idx];
+      if (actual.energy_kwh() <= 0.0) continue;  // device never ran this week
+      powerplay_err[devices[i]] +=
+          nilm::disaggregation_error(tracked[i].power, actual.values());
+      fhmm_err[devices[i]] +=
+          nilm::disaggregation_error(estimates[i], actual.values());
+      ++counted[devices[i]];
+    }
+  }
+
+  std::cout
+      << "==============================================================\n"
+         "Figure 2 — disaggregation error factor: PowerPlay vs FHMM\n"
+         "Home contains the 5 tracked devices + untracked noise loads.\n"
+         "Error 0 = perfect; 1.0 = as bad as always answering zero.\n"
+         "(averaged over "
+      << seeds.size() << " simulated households, " << kTestDays
+      << "-day test window)\n"
+         "==============================================================\n\n";
+
+  Table table({"device", "PowerPlay", "FHMM", "PowerPlay wins"});
+  int small_load_wins = 0, small_loads = 0;
+  for (const auto& device : devices) {
+    const int n = counted[device];
+    if (n == 0) continue;
+    const double pp = powerplay_err[device] / n;
+    const double fh = fhmm_err[device] / n;
+    table.add_row().cell(device).cell(pp).cell(fh).cell(
+        pp < fh ? "yes" : "no");
+    if (device != "dryer") {
+      ++small_loads;
+      small_load_wins += pp < fh ? 1 : 0;
+    }
+  }
+  table.print(std::cout, "Disaggregation error factor per device");
+
+  std::cout << "\nShape check vs paper: PowerPlay beats the FHMM on "
+            << small_load_wins << "/" << small_loads
+            << " small loads; the dryer (large load) is accurately tracked\n"
+               "by both, with the FHMM competitive there — the paper's "
+               "\"exception\".\n";
+  return 0;
+}

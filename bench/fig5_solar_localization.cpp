@@ -1,0 +1,87 @@
+// Figure 5 reproduction: localization error (km) for 10 solar sites in
+// different states — SunSpot on 1-minute generation data, Weatherman on
+// 1-hour data correlated against a dense public weather-station grid.
+//
+// Paper shape: SunSpot often lands within tens of km with occasional larger
+// misses; Weatherman tightens the estimate for nearly every site despite
+// using 60x coarser data.
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "solar/sunspot.h"
+#include "solar/weatherman.h"
+#include "synth/solar_gen.h"
+
+using namespace pmiot;
+
+int main() {
+  constexpr int kDays = 90;
+  const CivilDate start{2017, 5, 1};
+  const synth::WeatherOptions weather_options;
+  const synth::WeatherField weather(weather_options, start, kDays, 99);
+
+  // Public weather data: a NOAA-density station grid (~50-75 km spacing).
+  const auto grid = synth::make_station_grid(weather_options, 40, 60);
+  std::vector<solar::StationObservation> observations;
+  observations.reserve(grid.size());
+  for (const auto& station : grid) {
+    observations.push_back({station.name, station.location,
+                            weather.cloud_series(station.location)});
+  }
+
+  std::cout
+      << "==============================================================\n"
+         "Figure 5 — solar site localization error (km)\n"
+         "SunSpot: 1-minute generation, " << kDays << " days.\n"
+         "Weatherman: 1-hour generation + " << observations.size()
+      << " public weather stations.\n"
+         "==============================================================\n\n";
+
+  Table table({"site", "true lat", "true lon", "SunSpot km",
+               "Weatherman km", "best station corr"});
+  std::vector<double> sunspot_errors, weatherman_errors;
+  Rng rng(5);
+  for (const auto& site : synth::fig5_sites()) {
+    const auto generation =
+        synth::simulate_solar(site, weather, start, kDays, rng);
+
+    const auto sunspot = solar::sunspot_localize(generation);
+    const double sunspot_km =
+        geo::haversine_km(sunspot.estimate, site.location);
+
+    const auto hourly = generation.resample(3600);
+    const auto weatherman =
+        solar::weatherman_localize(hourly, sunspot.estimate, observations);
+    const double weatherman_km =
+        geo::haversine_km(weatherman.estimate, site.location);
+
+    sunspot_errors.push_back(sunspot_km);
+    weatherman_errors.push_back(weatherman_km);
+    table.add_row()
+        .cell(site.name)
+        .cell(site.location.lat, 2)
+        .cell(site.location.lon, 2)
+        .cell(sunspot_km, 1)
+        .cell(weatherman_km, 1)
+        .cell(weatherman.best_correlation, 3);
+  }
+  table.print(std::cout, "Localization accuracy per site");
+
+  int improved = 0;
+  for (std::size_t i = 0; i < sunspot_errors.size(); ++i) {
+    improved += weatherman_errors[i] < sunspot_errors[i] ? 1 : 0;
+  }
+  std::cout << "\nSummary:\n  SunSpot:    median "
+            << format_double(stats::median(sunspot_errors), 1) << " km, max "
+            << format_double(stats::max(sunspot_errors), 1) << " km\n"
+            << "  Weatherman: median "
+            << format_double(stats::median(weatherman_errors), 1)
+            << " km, max " << format_double(stats::max(weatherman_errors), 1)
+            << " km (improves " << improved
+            << "/10 sites on 60x coarser data)\n"
+            << "\nPrivacy takeaway (paper SII-B): stripping the geo-location\n"
+               "from 'anonymized' solar datasets does not anonymize them —\n"
+               "the location is embedded in the generation signal itself.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 6 reproduction: a home's week-long power trace with ground-truth
+// occupancy (top) vs the same home running CHPr on a 50-gallon water heater
+// (bottom), and the NIOM attack's MCC on both.
+//
+// Paper numbers: MCC 0.44 on the raw trace vs 0.045 under CHPr (~10x drop,
+// essentially random prediction).
+#include <iostream>
+
+#include "common/table.h"
+#include "defense/chpr.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+#include "timeseries/ascii_plot.h"
+
+using namespace pmiot;
+
+int main() {
+  // The CHPr home: home_b without its uncontrolled water heater (CHPr owns
+  // the tank), one week at 1-minute resolution.
+  auto config = synth::home_b();
+  std::vector<synth::ApplianceSpec> appliances;
+  for (const auto& spec : config.appliances) {
+    if (spec.name != "water_heater") appliances.push_back(spec);
+  }
+  config.appliances = appliances;
+
+  Rng rng(11);
+  const auto home =
+      synth::simulate_home(config, CivilDate{2017, 6, 5}, 7, rng);
+  const auto draws = defense::simulate_hot_water_draws(home.occupancy, rng);
+
+  // Baseline: the same home with a conventional thermostat water heater.
+  const defense::TankOptions tank;
+  const auto conventional = defense::thermostat_schedule(tank, draws);
+  auto raw = home.aggregate;
+  for (std::size_t t = 0; t < raw.size(); ++t) raw[t] += conventional[t];
+
+  // CHPr-controlled heater.
+  defense::ChprOptions options;
+  auto chpr_rng = rng.fork();
+  const auto chpr = defense::apply_chpr(home.aggregate, draws, options,
+                                        chpr_rng);
+
+  std::cout
+      << "==============================================================\n"
+         "Figure 6 — CHPr: Combined Heat and Privacy (50-gal water heater)\n"
+         "==============================================================\n\n";
+
+  ts::PlotOptions plot;
+  plot.width = 98;
+  plot.height = 9;
+  plot.y_label = "power (kW) — original week (conventional thermostat)";
+  std::cout << ts::ascii_plot(raw.values(), plot);
+  std::cout << "occupied\t " << ts::ascii_binary_strip(home.occupancy, 98)
+            << "   (ground truth)\n\n";
+  plot.y_label = "power (kW) — same week with CHPr masking";
+  std::cout << ts::ascii_plot(chpr.masked.values(), plot);
+  std::cout << '\n';
+
+  niom::ThresholdNiom attack;
+  const auto raw_report =
+      niom::evaluate(attack, raw, home.occupancy, niom::waking_hours());
+  const auto chpr_report = niom::evaluate(attack, chpr.masked, home.occupancy,
+                                          niom::waking_hours());
+
+  double conventional_kwh = 0.0;
+  for (double kw : conventional) conventional_kwh += kw / 60.0;
+
+  Table table({"trace", "NIOM MCC", "NIOM accuracy", "heater kWh/week",
+               "comfort violations (min)"});
+  table.add_row()
+      .cell("original")
+      .cell(raw_report.mcc)
+      .cell(raw_report.accuracy)
+      .cell(conventional_kwh, 1)
+      .cell(0);
+  table.add_row()
+      .cell("CHPr")
+      .cell(chpr_report.mcc)
+      .cell(chpr_report.accuracy)
+      .cell(chpr.heater_energy_kwh, 1)
+      .cell(chpr.comfort_violation_minutes);
+  table.print(std::cout, "Occupancy-detection attack vs CHPr");
+
+  const double factor =
+      chpr_report.mcc != 0.0 ? raw_report.mcc / std::max(chpr_report.mcc, 1e-3)
+                             : 999.0;
+  std::cout << "\nPaper: MCC 0.44 -> 0.045 (factor ~10, near-random).\n"
+            << "Here:  MCC " << format_double(raw_report.mcc, 3) << " -> "
+            << format_double(chpr_report.mcc, 3) << " (factor ~"
+            << format_double(factor, 1)
+            << "), with zero comfort violations; the masking energy is\n"
+               "heating the tank would have needed anyway, plus the extra\n"
+               "standing losses of running the tank hotter.\n";
+  return 0;
+}

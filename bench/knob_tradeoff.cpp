@@ -1,0 +1,66 @@
+// §III-E: user-controllable privacy — the paper's proposed tunable "knob".
+//
+// Sweeps four tunable defenses over intensity theta in [0,1] and reports,
+// for each point, what the attack suite still learns (occupancy MCC and
+// appliance-tracking fidelity) against what utility is lost (billing error,
+// hourly-analytics distortion, physical energy cost). This is the frontier
+// a user's privacy knob navigates.
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "core/privacy.h"
+
+using namespace pmiot;
+
+int main() {
+  Rng rng(21);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 7, rng);
+  const auto evaluator = core::PrivacyEvaluator::standard();
+  const std::vector<double> intensities = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  std::cout
+      << "==============================================================\n"
+         "SIII-E — the privacy knob: leakage vs utility across defenses\n"
+         "Home-B, one week, 1-minute data. theta = knob position.\n"
+         "==============================================================\n\n";
+
+  std::vector<std::unique_ptr<core::Defense>> defenses;
+  defenses.push_back(std::make_unique<core::SmoothingDefense>());
+  defenses.push_back(std::make_unique<core::NoiseDefense>());
+  defenses.push_back(std::make_unique<core::BatteryLevelDefense>());
+  defenses.push_back(std::make_unique<core::ChprDefense>());
+
+  for (const auto& defense : defenses) {
+    Rng sweep_rng(77);
+    const auto frontier =
+        evaluator.sweep(*defense, home, intensities, sweep_rng);
+    Table table({"theta", "occupancy leak", "NILM leak", "billing err",
+                 "analytics err", "extra kWh/wk"});
+    for (const auto& point : frontier) {
+      table.add_row()
+          .cell(point.intensity, 2)
+          .cell(point.leakage.at("occupancy(NIOM)"))
+          .cell(point.leakage.at("appliances(NILM)"))
+          .cell(point.billing_error)
+          .cell(point.analytics_error)
+          .cell(point.extra_energy_kwh, 1);
+    }
+    table.print(std::cout, "defense: " + defense->name());
+    std::cout << '\n';
+  }
+
+  std::cout
+      << "Reading the frontiers (matches the paper's qualitative claims):\n"
+         "  * smoothing/noise are free but only blunt NILM — occupancy\n"
+         "    still leaks through the mean (\"preventing occupancy detection\n"
+         "    ... requires shifting a large amount of load\");\n"
+         "  * the battery defeats both attacks at full strength but wrecks\n"
+         "    the hourly analytics a utility legitimately needs and burns\n"
+         "    round-trip energy in dedicated hardware;\n"
+         "  * CHPr rides a load the home heats anyway: occupancy leakage\n"
+         "    falls steadily with theta at modest cost — the tunable\n"
+         "    tradeoff the paper's SIII-E calls for.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// §II-A text claim: NIOM "occupancy detection accuracies of 70-90% for a
+// range of homes". Runs both detectors over a varied population and reports
+// per-home accuracy/MCC plus the population summary.
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+
+using namespace pmiot;
+
+int main() {
+  constexpr int kHomes = 12;
+  constexpr int kTrainDays = 7;   // labelled history for the supervised attack
+  constexpr int kTestDays = 14;
+  const auto population = synth::home_population(kHomes);
+
+  std::cout
+      << "==============================================================\n"
+         "NIOM accuracy sweep (paper SII-A: \"70-90% for a range of homes\")\n"
+         "12 varied homes; unsupervised detectors see only the 14-day test\n"
+         "trace; the supervised k-NN also gets 7 labelled prior days.\n"
+         "==============================================================\n\n";
+
+  niom::ThresholdNiom threshold;
+  niom::HmmNiom hmm;
+  Table table({"home", "occ frac", "thresh acc", "thresh MCC", "hmm acc",
+               "hmm MCC", "sup acc", "sup MCC"});
+  std::vector<double> thresh_accs, hmm_accs, sup_accs;
+
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    Rng rng(1000 + i);
+    const auto train = synth::simulate_home(population[i],
+                                            CivilDate{2017, 5, 29},
+                                            kTrainDays, rng);
+    const auto trace = synth::simulate_home(population[i],
+                                            CivilDate{2017, 6, 5},
+                                            kTestDays, rng);
+    const auto t_report = niom::evaluate(threshold, trace.aggregate,
+                                         trace.occupancy, niom::waking_hours());
+    const auto h_report = niom::evaluate(hmm, trace.aggregate, trace.occupancy,
+                                         niom::waking_hours());
+    niom::SupervisedNiom supervised;
+    supervised.fit(train.aggregate, train.occupancy);
+    const auto s_report = niom::evaluate(supervised, trace.aggregate,
+                                         trace.occupancy, niom::waking_hours());
+    thresh_accs.push_back(t_report.accuracy);
+    hmm_accs.push_back(h_report.accuracy);
+    sup_accs.push_back(s_report.accuracy);
+    table.add_row()
+        .cell(trace.name)
+        .cell(synth::occupied_fraction(trace.occupancy), 2)
+        .cell(t_report.accuracy)
+        .cell(t_report.mcc)
+        .cell(h_report.accuracy)
+        .cell(h_report.mcc)
+        .cell(s_report.accuracy)
+        .cell(s_report.mcc);
+  }
+  table.print(std::cout, "Per-home occupancy detection");
+
+  auto band = [](const std::vector<double>& accs) {
+    int in_band = 0;
+    for (double a : accs) in_band += (a >= 0.70 && a <= 0.90) ? 1 : 0;
+    return in_band;
+  };
+  std::cout << "\nSummary:\n"
+            << "  threshold detector: mean acc "
+            << format_double(stats::mean(thresh_accs), 3) << ", range ["
+            << format_double(stats::min(thresh_accs), 3) << ", "
+            << format_double(stats::max(thresh_accs), 3) << "], "
+            << band(thresh_accs) << "/" << kHomes << " homes in the 70-90% band\n"
+            << "  HMM detector:       mean acc "
+            << format_double(stats::mean(hmm_accs), 3) << ", range ["
+            << format_double(stats::min(hmm_accs), 3) << ", "
+            << format_double(stats::max(hmm_accs), 3) << "], "
+            << band(hmm_accs) << "/" << kHomes << " homes in the 70-90% band\n"
+            << "  supervised k-NN:    mean acc "
+            << format_double(stats::mean(sup_accs), 3) << ", range ["
+            << format_double(stats::min(sup_accs), 3) << ", "
+            << format_double(stats::max(sup_accs), 3) << "], "
+            << band(sup_accs) << "/" << kHomes << " homes in the 70-90% band\n"
+            << "\nAn attacker with even a week of labelled history (the\n"
+               "supervised column) pushes more homes into the paper's band —\n"
+               "occupancy leakage grows with attacker knowledge.\n";
+  return 0;
+}

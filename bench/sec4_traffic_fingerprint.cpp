@@ -1,0 +1,139 @@
+// §IV evaluation: the "smart gateway" research direction made concrete.
+//
+//  1. Device-type fingerprinting from traffic features, comparing four
+//     classifiers (the gateway must know what each device is).
+//  2. Compromise detection: a camera joins a Mirai-style DDoS mid-capture;
+//     the gateway's anomaly envelope flags and quarantines it.
+//  3. Least privilege: lateral LAN traffic from IoT devices is blocked.
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "ml/knn.h"
+#include "ml/logistic.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "net/fingerprint.h"
+#include "net/gateway.h"
+
+using namespace pmiot;
+
+int main() {
+  std::cout
+      << "==============================================================\n"
+         "SIV — IoT device fingerprinting and the smart gateway\n"
+         "==============================================================\n\n";
+
+  // --- 1. classifier comparison -------------------------------------------
+  Rng rng(3);
+  net::FingerprintOptions options;
+  options.instances_per_type = 4;
+  options.duration_s = 3 * 3600.0;
+  auto data = net::build_fingerprint_dataset(options, rng);
+  auto split = ml::train_test_split(data, 0.3, rng);
+
+  std::vector<std::unique_ptr<ml::Classifier>> classifiers;
+  classifiers.push_back(std::make_unique<ml::RandomForest>());
+  classifiers.push_back(std::make_unique<ml::KnnClassifier>(5));
+  classifiers.push_back(std::make_unique<ml::GaussianNaiveBayes>());
+  classifiers.push_back(std::make_unique<ml::LogisticRegression>());
+
+  // k-NN and logistic regression need feature scaling.
+  ml::StandardScaler scaler;
+  scaler.fit(split.train);
+  auto scaled_train = split.train;
+  auto scaled_test = split.test;
+  scaler.transform_in_place(scaled_train);
+  scaler.transform_in_place(scaled_test);
+
+  Table table({"classifier", "accuracy", "macro F1"});
+  std::vector<std::string> class_names;
+  for (int t = 0; t < net::kNumDeviceTypes; ++t) {
+    class_names.push_back(net::to_string(static_cast<net::DeviceType>(t)));
+  }
+  const ml::RandomForest* forest_ptr = nullptr;
+  for (const auto& model : classifiers) {
+    const bool needs_scaling = model->name().rfind("knn", 0) == 0 ||
+                               model->name() == "logistic";
+    const auto& train = needs_scaling ? scaled_train : split.train;
+    const auto& test = needs_scaling ? scaled_test : split.test;
+    model->fit(train);
+    const auto pred = model->predict_all(test);
+    ml::ConfusionMatrix cm(pred, test.labels, net::kNumDeviceTypes);
+    table.add_row().cell(model->name()).cell(cm.accuracy()).cell(cm.macro_f1());
+    if (!forest_ptr) {
+      forest_ptr = dynamic_cast<const ml::RandomForest*>(model.get());
+    }
+  }
+  table.print(std::cout,
+              "Device-type identification from 10-min traffic windows (" +
+                  std::to_string(split.test.size()) + " test windows)");
+
+  // Confusion matrix for the strongest model.
+  {
+    const auto pred = classifiers.front()->predict_all(split.test);
+    ml::ConfusionMatrix cm(pred, split.test.labels, net::kNumDeviceTypes);
+    std::cout << "\nRandom-forest confusion matrix:\n"
+              << cm.to_string(class_names) << '\n';
+  }
+
+  // --- 2 & 3. the gateway scenario -----------------------------------------
+  net::AnomalyDetector detector;
+  detector.fit(data);
+
+  Rng home_rng(9);
+  auto home = net::simulate_home_network(2, 3 * 3600.0, home_rng);
+  // Compromise the first camera one hour in: Mirai-style DDoS bursts.
+  auto infected = home.devices[0];
+  infected.infection = net::Infection::kDdosBot;
+  infected.infection_start_s = 3600.0;
+  const auto attack_traffic =
+      net::simulate_device(infected, 3 * 3600.0, home_rng);
+  home.packets.insert(home.packets.end(), attack_traffic.begin(),
+                      attack_traffic.end());
+  net::sort_by_time(home.packets);
+
+  net::SmartGateway gateway(*classifiers.front(), detector,
+                            net::GatewayOptions{});
+  for (const auto& device : home.devices) {
+    gateway.register_device(device.ip, device.name);
+  }
+  const auto report = gateway.process(home.packets, 3 * 3600.0);
+
+  std::cout << "Gateway scenario: 16 devices, " << home.packets.size()
+            << " packets over 3 h; " << home.devices[0].name
+            << " joins a DDoS at t=3600 s.\n\n";
+  for (const auto& event : report.events) {
+    std::cout << "  [" << format_double(event.timestamp_s, 0) << " s] "
+              << event.device << ": " << event.message << '\n';
+  }
+
+  Table verdicts({"device", "identified as", "zone", "max anomaly score"});
+  int correct_ids = 0;
+  for (std::size_t i = 0; i < report.verdicts.size(); ++i) {
+    const auto& verdict = report.verdicts[i];
+    const char* predicted =
+        verdict.predicted_type >= 0
+            ? net::to_string(
+                  static_cast<net::DeviceType>(verdict.predicted_type))
+            : "(silent)";
+    correct_ids +=
+        verdict.predicted_type == static_cast<int>(home.devices[i].type);
+    verdicts.add_row()
+        .cell(verdict.device)
+        .cell(predicted)
+        .cell(net::to_string(verdict.final_zone))
+        .cell(verdict.max_anomaly_score, 1);
+  }
+  std::cout << '\n';
+  verdicts.print(std::cout, "Final gateway verdicts");
+
+  std::cout << "\nSummary: " << correct_ids << "/" << report.verdicts.size()
+            << " devices correctly identified; "
+            << report.lateral_packets_blocked
+            << " lateral LAN packets blocked by least privilege; "
+            << report.quarantine_packets_dropped
+            << " packets dropped after quarantine.\n";
+  return 0;
+}

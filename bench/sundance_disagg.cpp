@@ -1,0 +1,116 @@
+// §II-B SunDance evaluation: separating net-meter data into consumption and
+// generation, and what that recovery re-enables downstream.
+//
+// Utilities hand analytics companies anonymized *net* meter data. SunDance
+// calibrates a universal PV model against the net signal, subtracts the
+// modelled generation, and recovers the consumption stream — which then
+// leaks occupancy again via NIOM. Also quantifies how much harder the
+// SunSpot location attack is on net data than on gross generation feeds.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "nilm/error.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "solar/sundance.h"
+#include "solar/sunspot.h"
+#include "synth/home.h"
+#include "synth/solar_gen.h"
+
+using namespace pmiot;
+
+int main() {
+  constexpr int kDays = 30;
+  const CivilDate start{2017, 6, 1};
+  const synth::WeatherOptions weather_options;
+  const synth::WeatherField weather(weather_options, start, kDays, 99);
+
+  std::cout
+      << "==============================================================\n"
+         "SII-B — SunDance: behind-the-meter solar disaggregation\n"
+         "Net meter = consumption - generation; 1-minute data, " << kDays
+      << " days.\n"
+         "==============================================================\n\n";
+
+  Table table({"site", "gen err", "cons err", "scale err", "NIOM true",
+               "NIOM net", "NIOM recovered"});
+  niom::ThresholdNiom attack;
+  Rng rng(5);
+  int scenario = 0;
+  for (const auto& site :
+       {synth::fig5_sites()[0], synth::fig5_sites()[3], synth::fig5_sites()[8]}) {
+    const auto generation =
+        synth::simulate_solar(site, weather, start, kDays, rng);
+    Rng home_rng(50 + scenario++);
+    const auto home = synth::simulate_home(
+        scenario % 2 == 0 ? synth::home_a() : synth::home_b(), start, kDays,
+        home_rng);
+    auto net = home.aggregate;
+    net -= generation;
+
+    // The attacker knows the service address (site metadata) and fetches
+    // the nearest public station's weather.
+    const auto clouds = weather.cloud_series(site.location);
+    const auto result = solar::sundance_disaggregate(net, site.location,
+                                                     clouds);
+
+    const double gen_err = nilm::disaggregation_error(
+        result.generation_estimate.values(), generation.values());
+    const double cons_err = nilm::disaggregation_error(
+        result.consumption_estimate.values(), home.aggregate.values());
+    const double true_peak = site.capacity_kw * site.derate * site.tilt_gain;
+    const double scale_err =
+        std::abs(result.scale_kw - true_peak) / true_peak;
+
+    const auto true_niom = niom::evaluate(attack, home.aggregate,
+                                          home.occupancy, niom::waking_hours());
+    auto clamped_net = net;
+    clamped_net.clamp_min(0.0);
+    const auto net_niom = niom::evaluate(attack, clamped_net, home.occupancy,
+                                         niom::waking_hours());
+    const auto recovered_niom =
+        niom::evaluate(attack, result.consumption_estimate, home.occupancy,
+                       niom::waking_hours());
+
+    table.add_row()
+        .cell(site.name)
+        .cell(gen_err)
+        .cell(cons_err)
+        .cell(scale_err)
+        .cell(true_niom.accuracy)
+        .cell(net_niom.accuracy)
+        .cell(recovered_niom.accuracy);
+  }
+  table.print(std::cout,
+              "SunDance recovery quality and downstream occupancy leakage");
+
+  // Location attacks degrade on net data (the consumption signal corrupts
+  // the solar signature) — quantify with one site.
+  const auto site = synth::fig5_sites()[0];
+  const auto generation =
+      synth::simulate_solar(site, weather, start, kDays, rng);
+  Rng home_rng(99);
+  const auto home =
+      synth::simulate_home(synth::home_b(), start, kDays, home_rng);
+  auto net = home.aggregate;
+  net -= generation;
+  const auto direct = solar::sunspot_localize(generation);
+  solar::SunSpotOptions asym;
+  asym.asymmetric_day_length = true;
+  const auto from_net =
+      solar::sunspot_localize(solar::apparent_generation(net), asym);
+  std::cout << "\nSunSpot localization, " << site.name << ":\n"
+            << "  on the gross generation feed: "
+            << format_double(geo::haversine_km(direct.estimate, site.location),
+                             1)
+            << " km error\n"
+            << "  on apparent generation recovered from the net meter: "
+            << format_double(
+                   geo::haversine_km(from_net.estimate, site.location), 1)
+            << " km error\n"
+            << "(consumption contaminates the solar signature's shoulders, so\n"
+               "net-metered homes resist localization far more than gross\n"
+               "feeds — but SunDance still re-exposes their consumption.)\n";
+  return 0;
+}

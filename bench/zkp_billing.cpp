@@ -1,0 +1,141 @@
+// §III-C microbenchmark: the costs of the privacy-preserving smart meter.
+//
+// Google-benchmark timings for each protocol leg (commit per reading,
+// verifiable bill response, utility-side verification, optional per-reading
+// range proofs), plus a summary table comparing communication: commitments
+// + one bill response vs shipping the raw readings.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "zkp/meter.h"
+
+using namespace pmiot;
+using namespace pmiot::zkp;
+
+namespace {
+
+GroupParams bench_params() {
+  static const GroupParams params = GroupParams::generate(62, 42);
+  return params;
+}
+
+void BM_Commit(benchmark::State& state) {
+  const auto params = bench_params();
+  Rng rng(1);
+  u64 wh = 100;
+  for (auto _ : state) {
+    const u64 r = random_scalar(params, rng);
+    benchmark::DoNotOptimize(commit(params, wh, r));
+    wh = (wh + 37) % 65536;
+  }
+}
+BENCHMARK(BM_Commit);
+
+void BM_MeterRecord(benchmark::State& state) {
+  const auto params = bench_params();
+  PrivateMeter meter(params, 2);
+  u64 wh = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.record(wh));
+    wh = (wh + 37) % 65536;
+  }
+}
+BENCHMARK(BM_MeterRecord);
+
+/// A month of readings at the given interval: bill response generation.
+void BM_BillResponse(benchmark::State& state) {
+  const auto params = bench_params();
+  const auto intervals = static_cast<std::size_t>(state.range(0));
+  PrivateMeter meter(params, 3);
+  Rng rng(4);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    meter.record(static_cast<u64>(rng.uniform_int(0, 5000)));
+  }
+  const auto prices =
+      time_of_use_prices(intervals, 30 * 24 * 3600 / static_cast<int>(intervals),
+                         12, 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.bill_response(prices));
+  }
+  state.SetLabel(std::to_string(intervals) + " readings/month");
+}
+BENCHMARK(BM_BillResponse)->Arg(720)->Arg(2880)->Arg(43200);
+
+void BM_BillVerify(benchmark::State& state) {
+  const auto params = bench_params();
+  const auto intervals = static_cast<std::size_t>(state.range(0));
+  PrivateMeter meter(params, 5);
+  Rng rng(6);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    meter.record(static_cast<u64>(rng.uniform_int(0, 5000)));
+  }
+  const auto prices =
+      time_of_use_prices(intervals, 30 * 24 * 3600 / static_cast<int>(intervals),
+                         12, 30);
+  const auto response = meter.bill_response(prices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify_bill(params, meter.commitments(), prices, response));
+  }
+  state.SetLabel(std::to_string(intervals) + " readings/month");
+}
+BENCHMARK(BM_BillVerify)->Arg(720)->Arg(2880)->Arg(43200);
+
+void BM_RangeProve(benchmark::State& state) {
+  const auto params = bench_params();
+  Rng rng(7);
+  const u64 r = random_scalar(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prove_range(params, 4321, r, 16, rng));
+  }
+}
+BENCHMARK(BM_RangeProve);
+
+void BM_RangeVerify(benchmark::State& state) {
+  const auto params = bench_params();
+  Rng rng(8);
+  const u64 r = random_scalar(params, rng);
+  const u64 c = commit(params, 4321, r);
+  const auto proof = prove_range(params, 4321, r, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_range(params, c, proof));
+  }
+}
+BENCHMARK(BM_RangeVerify);
+
+void print_summary() {
+  const auto params = bench_params();
+  PrivateMeter meter(params, 9);
+  Rng rng(10);
+  constexpr std::size_t kHourly = 720;  // one month of hourly readings
+  for (std::size_t i = 0; i < kHourly; ++i) {
+    meter.record(static_cast<u64>(rng.uniform_int(0, 5000)));
+  }
+  const auto prices = time_of_use_prices(kHourly, 3600, 12, 30);
+  const auto response = meter.bill_response(prices);
+  const bool ok = verify_bill(params, meter.commitments(), prices, response);
+  const auto range = prove_range(params, 4321, random_scalar(params, rng), 16,
+                                 rng);
+
+  std::printf(
+      "\n== SIII-C summary: what crosses the wire for one month (720 hourly "
+      "readings) ==\n"
+      "  raw readings (the privacy-leaking baseline): %zu bytes\n"
+      "  commitments only:                            %zu bytes\n"
+      "  bill response (bill + blinding):             16 bytes\n"
+      "  optional 16-bit range proof per reading:     %zu bytes each\n"
+      "  bill verified without seeing any reading:    %s\n"
+      "  (group: %d-bit simulation-grade Schnorr group; see DESIGN.md)\n",
+      kHourly * 8, kHourly * 8, proof_size_bytes(range), ok ? "yes" : "NO",
+      62);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Scenario: the fully private smart thermostat (§III-C + §III-D together).
+//
+// A hub that (1) runs the occupancy service entirely on-device from a
+// cloud-shipped 88-byte model, (2) uses the estimates to build a thermostat
+// setback schedule, and (3) settles the month's bill through the
+// zero-knowledge meter — so the utility can verify every cent while neither
+// it nor the device vendor ever sees a single reading.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/local_service.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+#include "zkp/meter.h"
+
+using namespace pmiot;
+
+int main() {
+  // The vendor's one-time setup: train the generic model on panel homes.
+  const auto panel_configs = synth::home_population(5);
+  std::vector<synth::HomeTrace> panel;
+  for (std::size_t i = 0; i < panel_configs.size(); ++i) {
+    Rng rng(400 + i);
+    panel.push_back(synth::simulate_home(panel_configs[i],
+                                         CivilDate{2017, 4, 1}, 14, rng));
+  }
+  const auto model = core::GenericOccupancyModel::train(panel);
+  core::LocalOccupancyService service(model);
+  std::cout << "Vendor ships a " << model.artifact_bytes()
+            << "-byte occupancy model to the hub. That is the last thing the\n"
+               "vendor ever sends or receives besides the bill.\n\n";
+
+  // A month in the customer's home.
+  Rng rng(7);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 1}, 30, rng);
+
+  // 1. On-device occupancy for the thermostat.
+  const auto occupancy = service.detect(home.aggregate, false);
+  const auto quality = niom::score_predictions(
+      "local", occupancy, home.aggregate, home.occupancy,
+      niom::waking_hours());
+
+  // 2. The setback schedule it implies: minutes per day the thermostat can
+  //    relax because the service says nobody is home (waking hours only).
+  std::size_t setback_minutes = 0, correct_setbacks = 0;
+  for (std::size_t t = 0; t < occupancy.size(); ++t) {
+    const int mod = home.aggregate.minute_of_day_at(t);
+    if (mod < 8 * 60 || mod >= 23 * 60) continue;
+    if (occupancy[t] == 0) {
+      ++setback_minutes;
+      correct_setbacks += home.occupancy[t] == 0 ? 1 : 0;
+    }
+  }
+
+  // 3. Private billing through the ZKP meter.
+  const auto hourly = home.aggregate.resample(3600);
+  const auto params = zkp::GroupParams::generate(62, 2017);
+  zkp::PrivateMeter meter(params, 42);
+  for (std::size_t h = 0; h < hourly.size(); ++h) {
+    meter.record(static_cast<zkp::u64>(hourly[h] * 1000.0));
+  }
+  const auto prices = zkp::time_of_use_prices(meter.count(), 3600, 12, 30);
+  const auto bill = meter.bill_response(prices);
+  const bool verified =
+      zkp::verify_bill(params, meter.commitments(), prices, bill);
+
+  Table table({"quantity", "value"});
+  table.add_row().cell("occupancy accuracy (waking hours)").cell(
+      quality.accuracy);
+  table.add_row().cell("setback minutes/day scheduled").cell(
+      static_cast<long long>(setback_minutes / 30));
+  table.add_row().cell("of which actually vacant").cell(
+      setback_minutes > 0
+          ? format_double(100.0 * correct_setbacks / setback_minutes, 1) + " %"
+          : "-");
+  table.add_row().cell("bill (tariff units)").cell(
+      static_cast<long long>(bill.bill));
+  table.add_row().cell("bill verified by utility").cell(verified ? "yes"
+                                                                 : "NO");
+  table.add_row().cell("readings disclosed to anyone").cell(0);
+  table.print(std::cout, "One month of the fully private thermostat");
+
+  std::cout << "\nEverything a cloud thermostat needs happened here without\n"
+               "any party outside the home seeing a single meter reading —\n"
+               "the paper's SIII-C + SIII-D endgame, running end to end.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Scenario: choosing a privacy setting for your home.
+//
+// Walks the paper's §III defenses through the core PrivacyEvaluator for one
+// home and prints the privacy-utility frontier of each, then picks, per
+// defense, the weakest setting that pushes occupancy leakage below a target
+// — the decision a "privacy knob" UI would automate for a user.
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "core/privacy.h"
+
+using namespace pmiot;
+
+int main() {
+  constexpr double kLeakageTarget = 0.15;  // max acceptable occupancy MCC
+
+  Rng rng(42);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 7, rng);
+  const auto evaluator = core::PrivacyEvaluator::standard();
+  const std::vector<double> intensities = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::vector<std::unique_ptr<core::Defense>> defenses;
+  defenses.push_back(std::make_unique<core::SmoothingDefense>());
+  defenses.push_back(std::make_unique<core::NoiseDefense>());
+  defenses.push_back(std::make_unique<core::BatteryLevelDefense>());
+  defenses.push_back(std::make_unique<core::ChprDefense>());
+
+  std::cout << "Target: occupancy leakage (MCC) below "
+            << format_double(kLeakageTarget, 2) << ".\n\n";
+
+  Table summary({"defense", "knob needed", "occupancy leak", "NILM leak",
+                 "billing err", "analytics err", "extra kWh/wk"});
+  for (const auto& defense : defenses) {
+    Rng sweep_rng(7);
+    const auto frontier =
+        evaluator.sweep(*defense, home, intensities, sweep_rng);
+
+    const core::FrontierPoint* chosen = nullptr;
+    for (const auto& point : frontier) {
+      if (point.leakage.at("occupancy(NIOM)") <= kLeakageTarget) {
+        chosen = &point;
+        break;  // weakest sufficient setting
+      }
+    }
+    if (chosen == nullptr) {
+      summary.add_row()
+          .cell(defense->name())
+          .cell("cannot reach target")
+          .cell(frontier.back().leakage.at("occupancy(NIOM)"))
+          .cell(frontier.back().leakage.at("appliances(NILM)"))
+          .cell(frontier.back().billing_error)
+          .cell(frontier.back().analytics_error)
+          .cell(frontier.back().extra_energy_kwh, 1);
+    } else {
+      summary.add_row()
+          .cell(defense->name())
+          .cell(format_double(chosen->intensity, 2))
+          .cell(chosen->leakage.at("occupancy(NIOM)"))
+          .cell(chosen->leakage.at("appliances(NILM)"))
+          .cell(chosen->billing_error)
+          .cell(chosen->analytics_error)
+          .cell(chosen->extra_energy_kwh, 1);
+    }
+  }
+  summary.print(std::cout,
+                "Weakest knob setting that meets the occupancy target");
+
+  std::cout
+      << "\nHow to read this: smoothing and noise cannot hide occupancy at\n"
+         "any setting (they never move real load), the battery can but at\n"
+         "high analytics distortion, and CHPr reaches the target by shifting\n"
+         "energy the water heater needed anyway. This is the tradeoff the\n"
+         "paper's SIII-E 'user controllable privacy' knob navigates.\n";
+  return 0;
+}

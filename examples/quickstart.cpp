@@ -1,0 +1,57 @@
+// Quickstart: the library's core loop in ~60 lines.
+//
+//  1. Simulate a realistic home (appliances + occupants) for two weeks.
+//  2. Run the NIOM occupancy attack on its smart-meter data.
+//  3. Turn on the CHPr water-heater defense.
+//  4. Run the attack again and compare what it learns.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <iostream>
+
+#include "common/table.h"
+#include "defense/chpr.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+
+using namespace pmiot;
+
+int main() {
+  // 1. A home: fridge, lights, TV, cooking, laundry... and two occupants
+  //    with a weekday commute. Everything is deterministic given the seed.
+  Rng rng(7);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 14, rng);
+  std::cout << "Simulated " << home.name << ": "
+            << home.aggregate.size() << " one-minute readings, "
+            << format_double(home.aggregate.energy_kwh(), 1) << " kWh, "
+            << format_double(100 * synth::occupied_fraction(home.occupancy), 0)
+            << "% of minutes occupied.\n\n";
+
+  // 2. The attack: occupancy detection from the meter signal alone.
+  niom::ThresholdNiom attack;
+  const auto before = niom::evaluate(attack, home.aggregate, home.occupancy,
+                                     niom::waking_hours());
+
+  // 3. The defense: CHPr shifts the water heater's energy into randomized
+  //    bursts whenever the metered signal would otherwise look vacant.
+  const auto draws = defense::simulate_hot_water_draws(home.occupancy, rng);
+  const auto chpr =
+      defense::apply_chpr(home.aggregate, draws, defense::ChprOptions{}, rng);
+
+  // 4. Same attack, masked signal.
+  const auto after = niom::evaluate(attack, chpr.masked, home.occupancy,
+                                    niom::waking_hours());
+
+  Table table({"signal", "attack accuracy", "attack MCC"});
+  table.add_row().cell("raw meter data").cell(before.accuracy).cell(before.mcc);
+  table.add_row().cell("with CHPr").cell(after.accuracy).cell(after.mcc);
+  table.print(std::cout, "What the occupancy attack learns");
+
+  std::cout << "\nMCC 1.0 = the attacker knows exactly when you are home;\n"
+               "MCC 0.0 = the attacker is guessing. CHPr ran with "
+            << chpr.comfort_violation_minutes
+            << " minutes of comfort violations (cold showers).\n";
+  return 0;
+}

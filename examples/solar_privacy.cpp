@@ -1,0 +1,107 @@
+// Scenario: how "anonymous" is an anonymized solar dataset?
+//
+// Mirrors the paper's Enphase discussion (Figure 4): a homeowner opts into
+// "anonymized" data sharing — the vendor strips the geo-location before
+// selling the feed. This example plays the analytics company: starting from
+// nothing but the generation trace, it recovers the site's location with
+// SunSpot, sharpens it with public weather via Weatherman, and — for a
+// net-metered home — recovers the consumption stream with SunDance and runs
+// the occupancy attack on it.
+#include <iostream>
+
+#include "common/table.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "solar/sundance.h"
+#include "solar/sunspot.h"
+#include "solar/weatherman.h"
+#include "synth/home.h"
+#include "synth/solar_gen.h"
+
+using namespace pmiot;
+
+int main() {
+  // The victim: a 6.2 kW array on a home near Amherst, MA. 90 days of
+  // 1-minute generation uploaded to the vendor's cloud.
+  const CivilDate start{2017, 5, 1};
+  constexpr int kDays = 90;
+  const synth::WeatherOptions weather_options;
+  const synth::WeatherField weather(weather_options, start, kDays, 99);
+  const synth::SolarSite site{"victim", {42.39, -72.53}, 6.2, 0.85, 1.0, 0.01};
+  Rng rng(5);
+  const auto generation =
+      synth::simulate_solar(site, weather, start, kDays, rng);
+
+  std::cout << "The vendor sells this trace with the location stripped.\n"
+               "The analytics company proceeds anyway:\n\n";
+
+  // Step 1: SunSpot — invert the solar geometry.
+  const auto sunspot = solar::sunspot_localize(generation);
+  std::cout << "1. SunSpot (solar geometry, 1-min data):   estimate ("
+            << format_double(sunspot.estimate.lat, 2) << ", "
+            << format_double(sunspot.estimate.lon, 2) << "), "
+            << format_double(
+                   geo::haversine_km(sunspot.estimate, site.location), 1)
+            << " km from the true rooftop\n";
+
+  // Step 2: Weatherman — correlate against public weather stations.
+  const auto grid = synth::make_station_grid(weather_options, 40, 60);
+  std::vector<solar::StationObservation> observations;
+  for (const auto& station : grid) {
+    observations.push_back({station.name, station.location,
+                            weather.cloud_series(station.location)});
+  }
+  const auto hourly = generation.resample(3600);
+  const auto weatherman =
+      solar::weatherman_localize(hourly, sunspot.estimate, observations);
+  std::cout << "2. Weatherman (weather signature, 1-hour): estimate ("
+            << format_double(weatherman.estimate.lat, 2) << ", "
+            << format_double(weatherman.estimate.lon, 2) << "), "
+            << format_double(
+                   geo::haversine_km(weatherman.estimate, site.location), 1)
+            << " km from the true rooftop\n"
+            << "   (best-matching station: " << weatherman.best_station
+            << ", correlation "
+            << format_double(weatherman.best_correlation, 3) << ")\n\n";
+
+  // Step 3: the same home is net-metered — the utility's "anonymized"
+  // dataset is consumption minus generation. SunDance separates them.
+  Rng home_rng(11);
+  const auto home =
+      synth::simulate_home(synth::home_b(), start, kDays, home_rng);
+  auto net = home.aggregate;
+  net -= generation;
+  const auto clouds = weather.cloud_series(weatherman.estimate);
+  const auto sundance =
+      solar::sundance_disaggregate(net, weatherman.estimate, clouds);
+
+  niom::ThresholdNiom attack;
+  const auto on_net_raw = niom::evaluate(
+      attack, ts::TimeSeries(net).clamp_min(0.0), home.occupancy,
+      niom::waking_hours());
+  const auto on_recovered =
+      niom::evaluate(attack, sundance.consumption_estimate, home.occupancy,
+                     niom::waking_hours());
+  const auto on_truth = niom::evaluate(attack, home.aggregate, home.occupancy,
+                                       niom::waking_hours());
+
+  Table table({"attack input", "occupancy accuracy", "MCC"});
+  table.add_row()
+      .cell("net meter as-is")
+      .cell(on_net_raw.accuracy)
+      .cell(on_net_raw.mcc);
+  table.add_row()
+      .cell("SunDance-recovered consumption")
+      .cell(on_recovered.accuracy)
+      .cell(on_recovered.mcc);
+  table.add_row()
+      .cell("(true consumption, for reference)")
+      .cell(on_truth.accuracy)
+      .cell(on_truth.mcc);
+  table.print(std::cout, "3. SunDance re-enables the occupancy attack");
+
+  std::cout << "\nConclusion (the paper's SII-B): for solar homes, removing\n"
+               "the geo-location does not anonymize the data — the location\n"
+               "and the household's behaviour are embedded in the signal.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Error-handling primitives shared across all pmiot libraries.
+//
+// The library uses exceptions for contract violations and unrecoverable
+// errors, per the C++ Core Guidelines (E.2, E.3). `PMIOT_CHECK` is used to
+// validate preconditions on public API boundaries; internal invariants use
+// `PMIOT_ASSERT`, which compiles to the same thing but documents intent.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmiot {
+
+/// Thrown when a public-API precondition is violated (bad argument, empty
+/// input where data is required, mismatched dimensions, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails; indicates a bug in pmiot itself.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_internal_error(const char* expr,
+                                              const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pmiot
+
+/// Validate a public-API precondition; throws pmiot::InvalidArgument.
+#define PMIOT_CHECK(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pmiot::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+    }                                                                      \
+  } while (0)
+
+/// Validate an internal invariant; throws pmiot::InternalError.
+#define PMIOT_ASSERT(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pmiot::detail::throw_internal_error(#expr, __FILE__, __LINE__,     \
+                                            (msg));                        \
+    }                                                                      \
+  } while (0)

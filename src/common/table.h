@@ -1,0 +1,50 @@
+// Aligned text tables and CSV output for benchmark reports.
+//
+// Every bench binary reproduces one figure/table from the paper and prints
+// its rows through this writer so that the console output can be compared
+// against the paper's reported series at a glance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmiot {
+
+/// Column-aligned text table with an optional title. Cells are strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Must be filled with exactly one cell per column
+  /// before the next `add_row`/`print`.
+  Table& add_row();
+
+  /// Appends a cell to the current row.
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders with padded columns. Validates all rows are complete.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing separators).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with examples).
+std::string format_double(double value, int precision = 3);
+
+}  // namespace pmiot

@@ -1,0 +1,173 @@
+#include "core/local_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "synth/occupancy.h"
+
+namespace pmiot::core {
+namespace {
+
+constexpr double kMinStddev = 0.02;
+
+std::size_t window_samples(const ts::TimeSeries& power, int window_minutes) {
+  PMIOT_CHECK(window_minutes >= 1, "window must be positive");
+  const int interval = power.meta().interval_seconds;
+  PMIOT_CHECK((window_minutes * 60) % interval == 0,
+              "window must be a multiple of the sampling interval");
+  const auto w = static_cast<std::size_t>(window_minutes * 60 / interval);
+  PMIOT_CHECK(power.size() >= w, "trace shorter than one window");
+  return w;
+}
+
+/// The home's own quiet floor: median of overnight window means (falls back
+/// to the quietest quartile for short traces).
+double baseline_scale(const ts::TimeSeries& power,
+                      const std::vector<ts::WindowStat>& windows) {
+  std::vector<double> night;
+  for (const auto& win : windows) {
+    const int mod = power.minute_of_day_at(win.first);
+    if (mod >= 2 * 60 && mod < 5 * 60) night.push_back(win.mean);
+  }
+  if (night.size() < 4) {
+    std::vector<double> means;
+    for (const auto& win : windows) means.push_back(win.mean);
+    const double q25 = stats::quantile(means, 0.25);
+    night.clear();
+    for (double m : means) {
+      if (m <= q25) night.push_back(m);
+    }
+  }
+  PMIOT_ASSERT(!night.empty(), "no baseline windows");
+  return std::max(stats::median(night), 0.02);
+}
+
+}  // namespace
+
+std::vector<double> normalized_observations(const ts::TimeSeries& power,
+                                            int window_minutes) {
+  const std::size_t w = window_samples(power, window_minutes);
+  const auto windows = ts::window_stats(power.values(), w, w);
+  PMIOT_CHECK(!windows.empty(), "trace too short");
+  const double scale = baseline_scale(power, windows);
+  std::vector<double> obs;
+  obs.reserve(windows.size());
+  for (const auto& win : windows) {
+    // Log of the activity-to-baseline ratio: multiplicative differences
+    // between small and large homes become additive offsets, which is what
+    // lets a single Gaussian model transfer across households.
+    obs.push_back(
+        std::log((win.mean + 0.5 * std::sqrt(win.variance)) / scale));
+  }
+  return obs;
+}
+
+GenericOccupancyModel GenericOccupancyModel::train(
+    std::span<const synth::HomeTrace> panel,
+    const LocalServiceOptions& options) {
+  PMIOT_CHECK(!panel.empty(), "need at least one panel home");
+
+  // Supervised parameter estimation over the pooled, normalized panel data:
+  // per-class emission moments plus empirical transition frequencies.
+  double sum[2] = {0, 0}, sq[2] = {0, 0};
+  std::size_t count[2] = {0, 0};
+  std::size_t trans[2][2] = {{0, 0}, {0, 0}};
+
+  for (const auto& home : panel) {
+    const auto obs =
+        normalized_observations(home.aggregate, options.window_minutes);
+    const std::size_t w =
+        window_samples(home.aggregate, options.window_minutes);
+    int prev = -1;
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      std::size_t ones = 0;
+      for (std::size_t j = 0; j < w; ++j) {
+        ones += home.occupancy[i * w + j] != 0 ? 1 : 0;
+      }
+      const int label = 2 * ones >= w ? 1 : 0;
+      sum[label] += obs[i];
+      sq[label] += obs[i] * obs[i];
+      ++count[label];
+      if (prev >= 0) ++trans[prev][label];
+      prev = label;
+    }
+  }
+  PMIOT_CHECK(count[0] >= 10 && count[1] >= 10,
+              "panel must contain both occupied and vacant windows");
+
+  ml::HmmParams params;
+  params.initial = {0.5, 0.5};
+  params.mean.resize(2);
+  params.stddev.resize(2);
+  for (int s = 0; s < 2; ++s) {
+    const double mean = sum[s] / static_cast<double>(count[s]);
+    const double var =
+        sq[s] / static_cast<double>(count[s]) - mean * mean;
+    params.mean[static_cast<std::size_t>(s)] = mean;
+    params.stddev[static_cast<std::size_t>(s)] =
+        std::max(std::sqrt(std::max(var, 0.0)), kMinStddev);
+  }
+  params.transition.assign(2, std::vector<double>(2, 0.0));
+  for (int a = 0; a < 2; ++a) {
+    const double row = static_cast<double>(trans[a][0] + trans[a][1]);
+    PMIOT_CHECK(row > 0.0, "degenerate panel transition counts");
+    for (int b = 0; b < 2; ++b) {
+      params.transition[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          std::max(static_cast<double>(trans[a][b]) / row, 1e-4);
+    }
+    const double norm = params.transition[static_cast<std::size_t>(a)][0] +
+                        params.transition[static_cast<std::size_t>(a)][1];
+    params.transition[static_cast<std::size_t>(a)][0] /= norm;
+    params.transition[static_cast<std::size_t>(a)][1] /= norm;
+  }
+  params.validate();
+  return GenericOccupancyModel(std::move(params), options);
+}
+
+std::size_t GenericOccupancyModel::artifact_bytes() const noexcept {
+  // initial(2) + transition(4) + mean(2) + stddev(2) doubles + options.
+  return 10 * sizeof(double) + sizeof(LocalServiceOptions);
+}
+
+LocalOccupancyService::LocalOccupancyService(GenericOccupancyModel model)
+    : model_(std::move(model)) {}
+
+std::vector<int> LocalOccupancyService::detect(const ts::TimeSeries& power,
+                                               bool adapt) const {
+  const auto& options = model_.options();
+  const auto obs = normalized_observations(power, options.window_minutes);
+  ml::GaussianHmm hmm(model_.params());
+  if (adapt && obs.size() >= 16) {
+    // Transfer learning, on-device: refine the shipped parameters against
+    // this home's own unlabelled observations.
+    hmm.fit(obs, options.adapt_iterations);
+  }
+  const auto states = hmm.viterbi(obs);
+  // The occupied state is the higher-mean one (adaptation may reorder).
+  const int occupied =
+      hmm.params().mean[0] >= hmm.params().mean[1] ? 0 : 1;
+
+  const std::size_t w = window_samples(power, options.window_minutes);
+  std::vector<int> out(power.size(),
+                       states.empty() ? 0
+                                      : (states.back() == occupied ? 1 : 0));
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      const std::size_t t = i * w + j;
+      if (t < out.size()) out[t] = states[i] == occupied ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+OutboundSummary LocalOccupancyService::outbound(
+    const ts::TimeSeries& power) const {
+  OutboundSummary summary;
+  summary.monthly_kwh = power.energy_kwh();
+  summary.samples_shared = 0;
+  return summary;
+}
+
+}  // namespace pmiot::core

@@ -1,0 +1,96 @@
+// Local IoT services (paper §III-D).
+//
+// "The primary idea ... is to keep data locally at the device and not send
+// it to the cloud server. ... the cloud service may learn a general model
+// over the data and send the model to the local IoT device, which then
+// executes it locally on local data. Techniques, such as transfer learning,
+// can be used in such scenarios."
+//
+// This module implements that architecture for the occupancy service a
+// smart thermostat needs:
+//   * the cloud trains ONE GenericOccupancyModel from opt-in panel homes,
+//     on scale-normalized features so it transfers across households;
+//   * the hub runs it locally (Viterbi), optionally adapting it to the
+//     home's own unlabelled data (Baum-Welch — the transfer-learning step);
+//   * the only bytes that ever leave the home are a monthly billing total
+//     (or its ZKP commitment — see pmiot::zkp) — the service works with the
+//     cloud seeing nothing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/hmm.h"
+#include "synth/home.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::core {
+
+/// Options shared by training and local inference (must match, like a model
+/// format version).
+struct LocalServiceOptions {
+  int window_minutes = 15;
+  int adapt_iterations = 15;  ///< Baum-Welch steps during local adaptation
+};
+
+/// The model artifact the cloud ships to devices: a 2-state Gaussian HMM
+/// over *normalized* window observations (each home divides by its own
+/// overnight baseline, so one model fits homes of very different size).
+class GenericOccupancyModel {
+ public:
+  /// Cloud-side training from labelled panel homes (families that opted in
+  /// to share data, or the vendor's lab homes). Requires at least one home
+  /// with both occupied and vacant waking windows.
+  static GenericOccupancyModel train(
+      std::span<const synth::HomeTrace> panel,
+      const LocalServiceOptions& options = {});
+
+  const ml::HmmParams& params() const noexcept { return params_; }
+  const LocalServiceOptions& options() const noexcept { return options_; }
+
+  /// Serialized size of the artifact in bytes (what crosses the wire ONCE,
+  /// instead of a lifetime of telemetry).
+  std::size_t artifact_bytes() const noexcept;
+
+ private:
+  GenericOccupancyModel(ml::HmmParams params, LocalServiceOptions options)
+      : params_(std::move(params)), options_(options) {}
+
+  ml::HmmParams params_;
+  LocalServiceOptions options_;
+};
+
+/// What a month of the service sends upstream.
+struct OutboundSummary {
+  double monthly_kwh = 0.0;   ///< the bill — the only number shared
+  std::size_t samples_shared = 0;  ///< raw readings shared (always 0 here)
+};
+
+/// Hub-side service: consumes the local meter stream, produces the
+/// per-sample occupancy estimates a thermostat schedule needs, shares
+/// nothing but the billing summary.
+class LocalOccupancyService {
+ public:
+  explicit LocalOccupancyService(GenericOccupancyModel model);
+
+  /// Per-sample 0/1 occupancy, computed entirely on-device. With `adapt`
+  /// the shipped model is first fine-tuned on this home's own (unlabelled)
+  /// observations.
+  std::vector<int> detect(const ts::TimeSeries& power, bool adapt) const;
+
+  /// The month's outbound traffic.
+  OutboundSummary outbound(const ts::TimeSeries& power) const;
+
+  const GenericOccupancyModel& model() const noexcept { return model_; }
+
+ private:
+  GenericOccupancyModel model_;
+};
+
+/// Shared by cloud training and local inference: the normalized observation
+/// sequence for a trace (window mean + burstiness over the home's own
+/// overnight baseline). Exposed for tests.
+std::vector<double> normalized_observations(const ts::TimeSeries& power,
+                                            int window_minutes);
+
+}  // namespace pmiot::core

@@ -1,0 +1,218 @@
+#include "core/privacy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "defense/battery.h"
+#include "defense/chpr.h"
+#include "defense/obfuscation.h"
+#include "nilm/error.h"
+#include "nilm/powerplay.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/appliance.h"
+
+namespace pmiot::core {
+namespace {
+
+void check_intensity(double intensity) {
+  PMIOT_CHECK(intensity >= 0.0 && intensity <= 1.0,
+              "intensity must be in [0,1]");
+}
+
+}  // namespace
+
+double OccupancyAttack::leakage(const ts::TimeSeries& released,
+                                const synth::HomeTrace& truth) const {
+  niom::ThresholdNiom detector;
+  const auto report = niom::evaluate(detector, released, truth.occupancy,
+                                     niom::waking_hours());
+  return std::max(0.0, report.mcc);
+}
+
+ApplianceAttack::ApplianceAttack(std::vector<std::string> tracked)
+    : tracked_(std::move(tracked)) {
+  PMIOT_CHECK(!tracked_.empty(), "need at least one tracked appliance");
+}
+
+double ApplianceAttack::leakage(const ts::TimeSeries& released,
+                                const synth::HomeTrace& truth) const {
+  // Build PowerPlay models for the tracked appliances present in the home.
+  // The catalog is the a priori model library PowerPlay assumes.
+  std::vector<nilm::LoadModel> models;
+  std::vector<std::size_t> truth_idx;
+  const std::vector<synth::ApplianceSpec> catalog = {
+      synth::toaster(), synth::fridge(),  synth::freezer(),
+      synth::dryer(),   synth::hrv(),     synth::dishwasher(),
+      synth::washer(),  synth::cooktop(), synth::water_heater()};
+  for (const auto& name : tracked_) {
+    bool in_home = false;
+    for (std::size_t i = 0; i < truth.appliance_names.size(); ++i) {
+      if (truth.appliance_names[i] == name) {
+        in_home = true;
+        truth_idx.push_back(i);
+        break;
+      }
+    }
+    if (!in_home) continue;
+    for (const auto& spec : catalog) {
+      if (spec.name == name) {
+        models.push_back(nilm::LoadModel::from_spec(spec));
+        break;
+      }
+    }
+  }
+  if (models.empty()) return 0.0;
+
+  nilm::PowerPlay tracker(models);
+  const auto tracked = tracker.track(released);
+  double total = 0.0;
+  std::size_t scored = 0;
+  for (std::size_t i = 0; i < tracked.size(); ++i) {
+    const auto& actual = truth.per_appliance[truth_idx[i]];
+    if (actual.energy_kwh() <= 0.0) continue;  // never ran this window
+    const double err =
+        nilm::disaggregation_error(tracked[i].power, actual.values());
+    total += std::max(0.0, 1.0 - std::min(err, 1.0));
+    ++scored;
+  }
+  return scored == 0 ? 0.0 : total / static_cast<double>(scored);
+}
+
+DefenseOutcome SmoothingDefense::apply(const synth::HomeTrace& home,
+                                       double intensity, Rng&) const {
+  check_intensity(intensity);
+  const int radius = static_cast<int>(std::lround(intensity * 30.0));
+  DefenseOutcome out;
+  out.released = defense::smooth_reporting(home.aggregate, radius);
+  out.note = "moving average, radius " + std::to_string(radius) + " min";
+  return out;
+}
+
+NoiseDefense::NoiseDefense(double max_sigma_kw) : max_sigma_kw_(max_sigma_kw) {
+  PMIOT_CHECK(max_sigma_kw > 0.0, "max sigma must be positive");
+}
+
+DefenseOutcome NoiseDefense::apply(const synth::HomeTrace& home,
+                                   double intensity, Rng& rng) const {
+  check_intensity(intensity);
+  const double sigma = intensity * max_sigma_kw_;
+  DefenseOutcome out;
+  out.released = defense::inject_noise(home.aggregate, sigma, rng);
+  out.note = "gaussian noise, sigma " + format_double(sigma, 2) + " kW";
+  return out;
+}
+
+DefenseOutcome BatteryLevelDefense::apply(const synth::HomeTrace& home,
+                                          double intensity, Rng&) const {
+  check_intensity(intensity);
+  auto result = defense::apply_battery(home.aggregate, defense::BatteryOptions{},
+                                       intensity);
+  DefenseOutcome out;
+  out.released = std::move(result.metered);
+  out.extra_energy_kwh = result.losses_kwh;
+  out.note = "battery levelling at " + format_double(intensity, 2) +
+             " of deviation";
+  return out;
+}
+
+DefenseOutcome ChprDefense::apply(const synth::HomeTrace& home,
+                                  double intensity, Rng& rng) const {
+  check_intensity(intensity);
+
+  // The home the CHPr controller sees excludes any uncontrolled water
+  // heater (CHPr owns the tank).
+  ts::TimeSeries base = home.aggregate;
+  for (std::size_t i = 0; i < home.appliance_names.size(); ++i) {
+    if (home.appliance_names[i] == "water_heater") {
+      base -= home.per_appliance[i];
+      base.clamp_min(0.0);
+    }
+  }
+  // Draws depend only on the home so a knob sweep compares like to like.
+  Rng draw_rng(0xD0A5ULL ^ (home.occupancy.size() * 2654435761ULL));
+  auto draws = defense::simulate_hot_water_draws(home.occupancy, draw_rng);
+
+  defense::ChprOptions options;
+  // Intensity widens the controller's usable band above the setpoint.
+  options.tank.max_temp_c =
+      options.tank.setpoint_c +
+      intensity * (70.0 - options.tank.setpoint_c);
+
+  DefenseOutcome out;
+  if (intensity <= 0.0) {
+    // Plain thermostat: no masking, just the conventional heater load.
+    const auto heater = defense::thermostat_schedule(options.tank, draws);
+    ts::TimeSeries released = base;
+    for (std::size_t t = 0; t < released.size(); ++t) released[t] += heater[t];
+    out.released = std::move(released);
+    out.note = "conventional thermostat";
+    return out;
+  }
+
+  auto result = defense::apply_chpr(base, draws, options, rng);
+  // Cost: CHPr's energy beyond what the conventional thermostat would use.
+  const auto conventional = defense::thermostat_schedule(options.tank, draws);
+  double conventional_kwh = 0.0;
+  for (double kw : conventional) conventional_kwh += kw / 60.0;
+  out.extra_energy_kwh =
+      std::max(0.0, result.heater_energy_kwh - conventional_kwh);
+  out.released = std::move(result.masked);
+  out.note = "CHPr, ceiling " + format_double(options.tank.max_temp_c, 1) +
+             " C";
+  return out;
+}
+
+PrivacyEvaluator::PrivacyEvaluator(
+    std::vector<std::unique_ptr<Attack>> attacks)
+    : attacks_(std::move(attacks)) {
+  PMIOT_CHECK(!attacks_.empty(), "need at least one attack");
+}
+
+PrivacyEvaluator PrivacyEvaluator::standard() {
+  std::vector<std::unique_ptr<Attack>> attacks;
+  attacks.push_back(std::make_unique<OccupancyAttack>());
+  attacks.push_back(std::make_unique<ApplianceAttack>());
+  return PrivacyEvaluator(std::move(attacks));
+}
+
+std::vector<FrontierPoint> PrivacyEvaluator::sweep(
+    const Defense& defense, const synth::HomeTrace& home,
+    std::span<const double> intensities, Rng& rng) const {
+  PMIOT_CHECK(!intensities.empty(), "need at least one intensity");
+  std::vector<FrontierPoint> frontier;
+  // Utility metrics are judged against the defense's own intensity-0 output
+  // (for physical defenses like CHPr, even "off" replaces the home's water
+  // heater with the conventional thermostat, which must not count as error).
+  Rng baseline_rng = rng.fork();
+  const auto baseline = defense.apply(home, 0.0, baseline_rng);
+  for (double intensity : intensities) {
+    Rng point_rng = rng.fork();
+    const auto outcome = defense.apply(home, intensity, point_rng);
+    FrontierPoint point;
+    point.intensity = intensity;
+    point.extra_energy_kwh = outcome.extra_energy_kwh;
+    point.billing_error =
+        defense::billing_error(baseline.released, outcome.released);
+    // Analytics the utility legitimately wants: the hourly load profile.
+    const auto true_hourly = baseline.released.resample(3600);
+    const auto released_hourly = outcome.released.resample(3600);
+    const double mean_level = stats::mean(true_hourly.values());
+    point.analytics_error =
+        mean_level > 0.0
+            ? stats::rmse(true_hourly.values(), released_hourly.values()) /
+                  mean_level
+            : 0.0;
+    for (const auto& attack : attacks_) {
+      point.leakage[attack->name()] =
+          attack->leakage(outcome.released, home);
+    }
+    frontier.push_back(std::move(point));
+  }
+  return frontier;
+}
+
+}  // namespace pmiot::core

@@ -1,0 +1,156 @@
+// User-controllable privacy — the paper's own proposal (§III-E).
+//
+// "Some researchers have argued for an abstract 'knob' that is controlled
+// by users and represents their privacy preferences." This module makes the
+// knob concrete: a `Defense` is a tunable transformation of a home's
+// metered data (intensity 0 = report raw data, 1 = maximum protection), an
+// `Attack` measures what private information still leaks, and the
+// `PrivacyEvaluator` sweeps the knob to produce the privacy-vs-utility
+// frontier a user (or their gateway) would navigate.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/home.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::core {
+
+/// What a defense produced for one home at one knob setting.
+struct DefenseOutcome {
+  ts::TimeSeries released;        ///< data the utility/cloud receives
+  double extra_energy_kwh = 0.0;  ///< physical cost (battery losses, tank
+                                  ///< standing losses, ...)
+  std::string note;               ///< human-readable configuration summary
+};
+
+/// A tunable meter defense.
+class Defense {
+ public:
+  virtual ~Defense() = default;
+
+  /// Applies the defense at `intensity` in [0,1]. Intensity 0 must return
+  /// data equivalent to the raw home aggregate.
+  virtual DefenseOutcome apply(const synth::HomeTrace& home, double intensity,
+                               Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// A privacy attack scored against ground truth; returns leakage in [0,1]
+/// (0 = attack learns nothing, 1 = attack fully succeeds).
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual double leakage(const ts::TimeSeries& released,
+                         const synth::HomeTrace& truth) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// --- Concrete attacks ------------------------------------------------------
+
+/// NIOM occupancy detection; leakage = max(0, MCC) over waking hours.
+class OccupancyAttack final : public Attack {
+ public:
+  double leakage(const ts::TimeSeries& released,
+                 const synth::HomeTrace& truth) const override;
+  std::string name() const override { return "occupancy(NIOM)"; }
+};
+
+/// PowerPlay appliance tracking; leakage = mean over tracked appliances of
+/// max(0, 1 - error_factor) (1 = perfect tracking). Tracks the appliances
+/// in `tracked` that exist in the home.
+class ApplianceAttack final : public Attack {
+ public:
+  explicit ApplianceAttack(std::vector<std::string> tracked = {
+                               "fridge", "dryer", "toaster", "freezer"});
+  double leakage(const ts::TimeSeries& released,
+                 const synth::HomeTrace& truth) const override;
+  std::string name() const override { return "appliances(NILM)"; }
+
+ private:
+  std::vector<std::string> tracked_;
+};
+
+// --- Concrete tunable defenses ---------------------------------------------
+
+/// Moving-average reporting; intensity scales the window up to an hour.
+class SmoothingDefense final : public Defense {
+ public:
+  DefenseOutcome apply(const synth::HomeTrace& home, double intensity,
+                       Rng& rng) const override;
+  std::string name() const override { return "smoothing"; }
+};
+
+/// Gaussian noise injection; intensity scales sigma up to `max_sigma_kw`.
+class NoiseDefense final : public Defense {
+ public:
+  explicit NoiseDefense(double max_sigma_kw = 1.0);
+  DefenseOutcome apply(const synth::HomeTrace& home, double intensity,
+                       Rng& rng) const override;
+  std::string name() const override { return "noise"; }
+
+ private:
+  double max_sigma_kw_;
+};
+
+/// Battery load-levelling; intensity scales how much deviation the battery
+/// absorbs (see defense::apply_battery).
+class BatteryLevelDefense final : public Defense {
+ public:
+  DefenseOutcome apply(const synth::HomeTrace& home, double intensity,
+                       Rng& rng) const override;
+  std::string name() const override { return "battery"; }
+};
+
+/// CHPr water-heater masking; intensity scales the thermal band the
+/// controller may use above the conventional setpoint (0 = plain
+/// thermostat, 1 = the full 70 C ceiling).
+class ChprDefense final : public Defense {
+ public:
+  DefenseOutcome apply(const synth::HomeTrace& home, double intensity,
+                       Rng& rng) const override;
+  std::string name() const override { return "chpr"; }
+};
+
+// --- The evaluator ----------------------------------------------------------
+
+/// One point on the privacy-utility frontier.
+struct FrontierPoint {
+  double intensity = 0.0;
+  std::map<std::string, double> leakage;  ///< attack name -> leakage
+  double billing_error = 0.0;    ///< |released - true| energy / true
+  double analytics_error = 0.0;  ///< rel. RMSE of hourly profile (utility
+                                 ///< analytics the defense should preserve)
+  double extra_energy_kwh = 0.0; ///< physical cost
+};
+
+class PrivacyEvaluator {
+ public:
+  /// Takes ownership of the attack suite. Must be non-empty.
+  explicit PrivacyEvaluator(std::vector<std::unique_ptr<Attack>> attacks);
+
+  /// Builds the standard suite (occupancy + appliance attacks).
+  static PrivacyEvaluator standard();
+
+  /// Sweeps the knob for one defense over one home.
+  std::vector<FrontierPoint> sweep(const Defense& defense,
+                                   const synth::HomeTrace& home,
+                                   std::span<const double> intensities,
+                                   Rng& rng) const;
+
+  const std::vector<std::unique_ptr<Attack>>& attacks() const noexcept {
+    return attacks_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Attack>> attacks_;
+};
+
+}  // namespace pmiot::core

@@ -1,0 +1,149 @@
+#include "defense/battery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace pmiot::defense {
+
+BatteryResult apply_battery(const ts::TimeSeries& load,
+                            const BatteryOptions& options, double intensity) {
+  PMIOT_CHECK(!load.empty(), "empty load");
+  PMIOT_CHECK(options.capacity_kwh > 0.0 && options.max_power_kw > 0.0,
+              "battery must have capacity and power");
+  PMIOT_CHECK(options.round_trip_efficiency > 0.0 &&
+                  options.round_trip_efficiency <= 1.0,
+              "efficiency must be in (0,1]");
+  PMIOT_CHECK(intensity >= 0.0 && intensity <= 1.0,
+              "intensity must be in [0,1]");
+
+  const auto per_day = load.samples_per_day();
+  const double dt_hours = load.meta().interval_seconds / 3600.0;
+  // Losses split evenly between charge and discharge legs.
+  const double one_way_eff = std::sqrt(options.round_trip_efficiency);
+
+  BatteryResult result;
+  result.soc_kwh.assign(load.size(), 0.0);
+  std::vector<double> metered(load.size(), 0.0);
+  double soc = options.initial_soc * options.capacity_kwh;
+
+  for (std::size_t t = 0; t < load.size(); ++t) {
+    // Daily flat target: that day's mean load (NILL's steady-state level).
+    const std::size_t day_first = (t / per_day) * per_day;
+    const std::size_t day_len = std::min(per_day, load.size() - day_first);
+    const double target =
+        stats::mean(load.values().subspan(day_first, day_len));
+
+    const double desired_delta = intensity * (target - load[t]);
+    // desired_delta > 0: the grid should supply more than the home uses ->
+    // battery charges; < 0: battery discharges to shave the peak.
+    double battery_kw = std::clamp(desired_delta, -options.max_power_kw,
+                                   options.max_power_kw);
+    if (battery_kw > 0.0) {
+      // Charging: limited by remaining capacity.
+      const double room_kwh = options.capacity_kwh - soc;
+      battery_kw = std::min(battery_kw, room_kwh / (one_way_eff * dt_hours));
+      soc += battery_kw * one_way_eff * dt_hours;
+      result.losses_kwh += battery_kw * (1.0 - one_way_eff) * dt_hours;
+    } else if (battery_kw < 0.0) {
+      // Discharging: limited by stored energy.
+      const double avail_kw = soc * one_way_eff / dt_hours;
+      battery_kw = std::max(battery_kw, -avail_kw);
+      soc += battery_kw / one_way_eff * dt_hours;
+      result.losses_kwh += -battery_kw * (1.0 / one_way_eff - 1.0) * dt_hours;
+    }
+    soc = std::clamp(soc, 0.0, options.capacity_kwh);
+
+    const double grid = std::max(0.0, load[t] + battery_kw);
+    if (std::fabs(grid - (intensity > 0.0 ? target : load[t])) > 0.05 &&
+        intensity > 0.0) {
+      ++result.saturation_samples;
+    }
+    metered[t] = grid;
+    result.soc_kwh[t] = soc;
+  }
+  result.metered = ts::TimeSeries(load.meta(), std::move(metered));
+  return result;
+}
+
+NillResult apply_nill(const ts::TimeSeries& load, const NillOptions& options) {
+  PMIOT_CHECK(!load.empty(), "empty load");
+  PMIOT_CHECK(options.soc_low < options.soc_resume &&
+                  options.soc_resume < options.soc_high,
+              "SoC thresholds must be ordered low < resume < high");
+  PMIOT_CHECK(options.low_target_factor >= 0.0 &&
+                  options.high_target_factor > 1.0,
+              "recovery targets must bracket K_ss");
+  const auto& battery = options.battery;
+  PMIOT_CHECK(battery.capacity_kwh > 0.0 && battery.max_power_kw > 0.0,
+              "battery must have capacity and power");
+
+  const auto per_day = load.samples_per_day();
+  const double dt_hours = load.meta().interval_seconds / 3600.0;
+  const double one_way_eff = std::sqrt(battery.round_trip_efficiency);
+
+  enum class State { kSteady, kLowRecovery, kHighRecovery };
+  State state = State::kSteady;
+
+  NillResult result;
+  result.soc_kwh.assign(load.size(), 0.0);
+  std::vector<double> metered(load.size(), 0.0);
+  double soc = battery.initial_soc * battery.capacity_kwh;
+
+  for (std::size_t t = 0; t < load.size(); ++t) {
+    const std::size_t day_first = (t / per_day) * per_day;
+    const std::size_t day_len = std::min(per_day, load.size() - day_first);
+    const double k_ss =
+        stats::mean(load.values().subspan(day_first, day_len));
+
+    // State transitions on SoC thresholds (the NILL control law).
+    const double frac = soc / battery.capacity_kwh;
+    const State before = state;
+    switch (state) {
+      case State::kSteady:
+        if (frac >= options.soc_high) state = State::kLowRecovery;
+        else if (frac <= options.soc_low) state = State::kHighRecovery;
+        break;
+      case State::kLowRecovery:
+        if (frac <= options.soc_resume) state = State::kSteady;
+        break;
+      case State::kHighRecovery:
+        if (frac >= options.soc_resume) state = State::kSteady;
+        break;
+    }
+    if (state != before) ++result.state_changes;
+
+    double target = k_ss;
+    if (state == State::kLowRecovery) target = options.low_target_factor * k_ss;
+    if (state == State::kHighRecovery) {
+      target = options.high_target_factor * k_ss;
+    }
+
+    // Battery power needed to hold the meter at the target.
+    double battery_kw = std::clamp(target - load[t], -battery.max_power_kw,
+                                   battery.max_power_kw);
+    if (battery_kw > 0.0) {
+      const double room_kwh = battery.capacity_kwh - soc;
+      battery_kw = std::min(battery_kw, room_kwh / (one_way_eff * dt_hours));
+      soc += battery_kw * one_way_eff * dt_hours;
+      result.losses_kwh += battery_kw * (1.0 - one_way_eff) * dt_hours;
+    } else if (battery_kw < 0.0) {
+      const double avail_kw = soc * one_way_eff / dt_hours;
+      battery_kw = std::max(battery_kw, -avail_kw);
+      soc += battery_kw / one_way_eff * dt_hours;
+      result.losses_kwh += -battery_kw * (1.0 / one_way_eff - 1.0) * dt_hours;
+    }
+    soc = std::clamp(soc, 0.0, battery.capacity_kwh);
+
+    const double grid = std::max(0.0, load[t] + battery_kw);
+    if (std::fabs(grid - target) > 0.05) ++result.leak_samples;
+    metered[t] = grid;
+    result.soc_kwh[t] = soc;
+  }
+  result.metered = ts::TimeSeries(load.meta(), std::move(metered));
+  return result;
+}
+
+}  // namespace pmiot::defense

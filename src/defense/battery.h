@@ -1,0 +1,68 @@
+// Battery-based load masking (McLaughlin CCS'11 / Yang CCS'12; paper §III-B).
+//
+// A home battery charges when the home draws less than a target level and
+// discharges when it draws more, flattening the metered signal so NILM can
+// no longer see appliance edges. Unlike CHPr the hardware is dedicated and
+// expensive, and round-trip losses cost real energy — the tradeoff the
+// paper contrasts against CHPr's "free" water heater.
+#pragma once
+
+#include <vector>
+
+#include "timeseries/timeseries.h"
+
+namespace pmiot::defense {
+
+struct BatteryOptions {
+  double capacity_kwh = 8.0;
+  double max_power_kw = 3.0;      ///< symmetric charge/discharge limit
+  double round_trip_efficiency = 0.90;
+  double initial_soc = 0.5;       ///< state of charge fraction
+};
+
+struct BatteryResult {
+  ts::TimeSeries metered;         ///< grid-visible signal after the battery
+  std::vector<double> soc_kwh;    ///< per-sample state of charge
+  double losses_kwh = 0.0;        ///< round-trip energy burned
+  /// Samples where the battery saturated (empty/full or power-limited) and
+  /// the metered signal deviated from the flat target — NILL's "leakage
+  /// events", the moments an attacker can still see.
+  int saturation_samples = 0;
+};
+
+/// Proportional load levelling: per civil day, the target is that day's
+/// mean load; the battery absorbs deviations within its power and energy
+/// limits. `intensity` in [0,1] scales how much of the deviation the
+/// battery tries to absorb (the paper's §III-E tunable-knob hook;
+/// 1 = full flattening).
+BatteryResult apply_battery(const ts::TimeSeries& load,
+                            const BatteryOptions& options,
+                            double intensity = 1.0);
+
+/// The NILL algorithm proper (McLaughlin et al., CCS'11): the meter is held
+/// at a constant steady-state target K_ss; when the battery approaches full
+/// the controller steps down to a low-recovery target K_l (the battery
+/// drains), and when it approaches empty it steps up to a high-recovery
+/// target K_h (the battery charges). The only information an attacker sees
+/// is the timing of these few target steps.
+struct NillOptions {
+  BatteryOptions battery;
+  double soc_high = 0.85;      ///< enter low recovery above this SoC
+  double soc_low = 0.15;       ///< enter high recovery below this SoC
+  double soc_resume = 0.5;     ///< leave a recovery state at this SoC
+  double low_target_factor = 0.3;   ///< K_l = factor * K_ss
+  double high_target_factor = 1.8;  ///< K_h = factor * K_ss
+};
+
+struct NillResult {
+  ts::TimeSeries metered;
+  std::vector<double> soc_kwh;
+  double losses_kwh = 0.0;
+  int state_changes = 0;   ///< recovery transitions (the residual leak)
+  int leak_samples = 0;    ///< samples where limits forced the meter off
+                           ///< target by more than 50 W
+};
+
+NillResult apply_nill(const ts::TimeSeries& load, const NillOptions& options);
+
+}  // namespace pmiot::defense

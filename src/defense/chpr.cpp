@@ -1,0 +1,154 @@
+#include "defense/chpr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace pmiot::defense {
+namespace {
+
+/// Trailing-window mean/stddev over the last W samples.
+class TrailingStats {
+ public:
+  explicit TrailingStats(std::size_t window) : window_(window) {}
+
+  void push(double x) {
+    buf_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+    if (buf_.size() > window_) {
+      const double old = buf_.front();
+      buf_.pop_front();
+      sum_ -= old;
+      sum_sq_ -= old * old;
+    }
+  }
+
+  bool full() const noexcept { return buf_.size() >= window_; }
+
+  double mean() const {
+    PMIOT_CHECK(!buf_.empty(), "empty trailing window");
+    return sum_ / static_cast<double>(buf_.size());
+  }
+
+  double stddev() const {
+    const double m = mean();
+    const double var =
+        std::max(0.0, sum_sq_ / static_cast<double>(buf_.size()) - m * m);
+    return std::sqrt(var);
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace
+
+ChprResult apply_chpr(const ts::TimeSeries& home_without_heater,
+                      const std::vector<double>& draws,
+                      const ChprOptions& options, Rng& rng) {
+  PMIOT_CHECK(home_without_heater.meta().interval_seconds == 60,
+              "CHPr operates on 1-minute data");
+  PMIOT_CHECK(home_without_heater.size() == draws.size(),
+              "draw horizon mismatch");
+  PMIOT_CHECK(!home_without_heater.empty(), "empty trace");
+  PMIOT_CHECK(options.burst_max_minutes >= options.burst_min_minutes &&
+                  options.burst_min_minutes >= 1.0,
+              "invalid burst lengths");
+
+  const auto n = home_without_heater.size();
+  const auto window = static_cast<std::size_t>(options.window_minutes);
+
+  // Calibrate "looks vacant" thresholds exactly like the threshold attack:
+  // overnight windows of the raw home signal define the quiet floor.
+  std::vector<double> night_means, night_stds;
+  const auto windows =
+      ts::window_stats(home_without_heater.values(), window, window);
+  for (const auto& win : windows) {
+    const int mod = home_without_heater.minute_of_day_at(win.first);
+    if (mod >= 2 * 60 && mod < 5 * 60) {
+      night_means.push_back(win.mean);
+      night_stds.push_back(std::sqrt(win.variance));
+    }
+  }
+  PMIOT_CHECK(!night_means.empty(),
+              "trace too short to calibrate CHPr (needs overnight data)");
+  const double mean_threshold =
+      stats::median(night_means) +
+      options.mean_factor *
+          std::max(stats::stddev(night_means),
+                   0.01 * std::max(stats::median(night_means), 0.05));
+  const double std_threshold =
+      stats::median(night_stds) +
+      options.stddev_factor * std::max(stats::stddev(night_stds), 0.005);
+
+  WaterHeaterTank tank(options.tank, options.tank.setpoint_c);
+  TrailingStats trailing(window);
+
+  ChprResult result;
+  result.heater_kw.assign(n, 0.0);
+  result.tank_temp_c.assign(n, 0.0);
+  std::vector<double> masked(n, 0.0);
+
+  double burst_left = 0.0;  // minutes remaining in the current burst
+  double gap_left = 0.0;    // minutes until the next burst may start
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const double home_kw = home_without_heater[t];
+    double heat_kw = 0.0;
+
+    if (tank.must_heat()) {
+      // Comfort emergency overrides privacy.
+      heat_kw = options.tank.element_kw;
+      burst_left = 0.0;
+    } else if (burst_left > 0.0) {
+      heat_kw = tank.can_heat() ? options.tank.element_kw : 0.0;
+      burst_left -= 1.0;
+    } else {
+      // Does the recent *metered* signal look vacant?
+      const bool quiet = trailing.full() &&
+                         trailing.mean() < mean_threshold &&
+                         trailing.stddev() < std_threshold;
+      if (gap_left > 0.0) gap_left -= 1.0;
+      if (quiet && gap_left <= 0.0 && tank.can_heat()) {
+        burst_left =
+            rng.uniform(options.burst_min_minutes, options.burst_max_minutes);
+        // Spread the thermal budget: near the ceiling, bursts space out.
+        const double headroom =
+            (options.tank.max_temp_c - tank.temperature_c()) /
+            (options.tank.max_temp_c - options.tank.min_temp_c);
+        gap_left = options.base_gap_minutes +
+                   (options.max_gap_minutes - options.base_gap_minutes) *
+                       (1.0 - std::clamp(headroom, 0.0, 1.0));
+        heat_kw = options.tank.element_kw;
+        burst_left -= 1.0;
+      } else if (!quiet && tank.temperature_c() < options.tank.setpoint_c) {
+        // The home is already noisy: heating now is invisible, so catch up
+        // toward the conventional setpoint for free.
+        heat_kw = options.tank.element_kw;
+      }
+    }
+
+    if (draws[t] > 0.0 && tank.temperature_c() < options.tank.min_temp_c) {
+      ++result.comfort_violation_minutes;
+    }
+    tank.step(heat_kw, draws[t], 1.0);
+    result.heater_kw[t] = heat_kw;
+    result.tank_temp_c[t] = tank.temperature_c();
+    const double metered = home_kw + heat_kw;
+    masked[t] = metered;
+    trailing.push(metered);
+    result.heater_energy_kwh += heat_kw / 60.0;
+  }
+
+  result.masked = ts::TimeSeries(home_without_heater.meta(), std::move(masked));
+  return result;
+}
+
+}  // namespace pmiot::defense

@@ -1,0 +1,52 @@
+// CHPr — Combined Heat and Privacy (Chen et al., PerCom'14; paper §III-B).
+//
+// CHPr prevents occupancy detection by varying *when* the electric water
+// heater heats: instead of the thermostat's reactive cycles, it injects
+// short, randomized heating bursts whenever the metered signal would
+// otherwise look vacant (low and non-bursty), making unoccupied periods
+// statistically indistinguishable from occupied ones. Because the tank must
+// be heated anyway, the masking energy is "free" — the controller merely
+// shifts it — subject to the tank's comfort floor and safety ceiling.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "defense/water_heater.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::defense {
+
+struct ChprOptions {
+  TankOptions tank;
+  int window_minutes = 15;     ///< trailing window for quiet detection
+  double burst_min_minutes = 2.0;
+  double burst_max_minutes = 8.0;
+  /// Gap between bursts while masking, scaled up as the tank approaches its
+  /// ceiling (the controller spends its thermal budget evenly).
+  double base_gap_minutes = 8.0;
+  double max_gap_minutes = 45.0;
+  /// Fraction of trailing-window statistics that defines "looks vacant"
+  /// (mirrors the threshold NIOM attack's calibration).
+  double mean_factor = 2.0;
+  double stddev_factor = 2.5;
+};
+
+struct ChprResult {
+  ts::TimeSeries masked;            ///< metered signal with CHPr running
+  std::vector<double> heater_kw;    ///< per-minute element power
+  std::vector<double> tank_temp_c;  ///< per-minute tank temperature
+  double heater_energy_kwh = 0.0;
+  /// Minutes where the tank was below the comfort floor while hot water was
+  /// being drawn — the defense's cost in comfort (should be ~0).
+  int comfort_violation_minutes = 0;
+};
+
+/// Runs the CHPr controller over a 1-minute home trace that does NOT
+/// include the water heater (CHPr owns the heater), with the given
+/// hot-water draw schedule (liters per minute, same horizon).
+ChprResult apply_chpr(const ts::TimeSeries& home_without_heater,
+                      const std::vector<double>& draws,
+                      const ChprOptions& options, Rng& rng);
+
+}  // namespace pmiot::defense

@@ -1,0 +1,60 @@
+#include "defense/dp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::defense {
+
+double laplace_scale(double sensitivity, double epsilon) {
+  PMIOT_CHECK(sensitivity > 0.0, "sensitivity must be positive");
+  PMIOT_CHECK(epsilon > 0.0, "epsilon must be positive");
+  return sensitivity / epsilon;
+}
+
+ts::TimeSeries dp_aggregate(const std::vector<ts::TimeSeries>& homes,
+                            double epsilon, double sensitivity_kw, Rng& rng) {
+  PMIOT_CHECK(!homes.empty(), "need at least one home");
+  for (const auto& h : homes) {
+    PMIOT_CHECK(h.meta() == homes.front().meta() &&
+                    h.size() == homes.front().size(),
+                "homes must share meta and size");
+  }
+  const double b = laplace_scale(sensitivity_kw, epsilon);
+  ts::TimeSeries out = homes.front();
+  for (std::size_t i = 1; i < homes.size(); ++i) out += homes[i];
+  for (auto& v : out.mutable_values()) {
+    v = std::max(0.0, v + rng.laplace(b));
+  }
+  return out;
+}
+
+ts::TimeSeries dp_single_home(const ts::TimeSeries& home, double epsilon,
+                              double sensitivity_kw, Rng& rng) {
+  const double b = laplace_scale(sensitivity_kw, epsilon);
+  ts::TimeSeries out = home;
+  for (auto& v : out.mutable_values()) {
+    v = std::max(0.0, v + rng.laplace(b));
+  }
+  return out;
+}
+
+double aggregate_error(const std::vector<ts::TimeSeries>& homes,
+                       const ts::TimeSeries& released) {
+  PMIOT_CHECK(!homes.empty(), "need homes");
+  ts::TimeSeries truth = homes.front();
+  for (std::size_t i = 1; i < homes.size(); ++i) truth += homes[i];
+  PMIOT_CHECK(truth.size() == released.size(), "size mismatch");
+  double err = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    if (truth[t] <= 0.0) continue;
+    err += std::fabs(released[t] - truth[t]) / truth[t];
+    ++counted;
+  }
+  PMIOT_CHECK(counted > 0, "aggregate is identically zero");
+  return err / static_cast<double>(counted);
+}
+
+}  // namespace pmiot::defense

@@ -1,0 +1,38 @@
+// Differential privacy for released energy datasets (paper §III-A).
+//
+// The paper positions DP as the right tool when anonymized datasets are
+// *published*: the Laplace mechanism lets a utility release neighborhood
+// aggregates whose accuracy degrades gracefully with epsilon, while any
+// individual home's contribution stays epsilon-indistinguishable. It is
+// explicitly NOT a defense for the per-home streams the cloud service
+// already receives — the evaluation here quantifies both sides.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::defense {
+
+/// Laplace noise scale b = sensitivity / epsilon.
+double laplace_scale(double sensitivity, double epsilon);
+
+/// Releases the per-sample *sum* over a neighborhood of homes with the
+/// Laplace mechanism. `sensitivity_kw` bounds one home's contribution to
+/// any sample (e.g. a service-panel limit). Each sample independently
+/// consumes `epsilon` (per-query accounting, as in event-level DP).
+ts::TimeSeries dp_aggregate(const std::vector<ts::TimeSeries>& homes,
+                            double epsilon, double sensitivity_kw, Rng& rng);
+
+/// Applies the same mechanism to a single home's released trace — the
+/// naive "just add DP noise to the stream" defense whose poor
+/// privacy-utility tradeoff the paper's argument predicts.
+ts::TimeSeries dp_single_home(const ts::TimeSeries& home, double epsilon,
+                              double sensitivity_kw, Rng& rng);
+
+/// Mean relative error of a released aggregate against the true sums.
+double aggregate_error(const std::vector<ts::TimeSeries>& homes,
+                       const ts::TimeSeries& released);
+
+}  // namespace pmiot::defense

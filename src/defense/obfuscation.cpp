@@ -1,0 +1,36 @@
+#include "defense/obfuscation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::defense {
+
+ts::TimeSeries inject_noise(const ts::TimeSeries& load, double sigma_kw,
+                            Rng& rng) {
+  PMIOT_CHECK(sigma_kw >= 0.0, "sigma must be non-negative");
+  ts::TimeSeries out = load;
+  if (sigma_kw == 0.0) return out;
+  for (auto& v : out.mutable_values()) {
+    v = std::max(0.0, v + rng.normal(0.0, sigma_kw));
+  }
+  return out;
+}
+
+ts::TimeSeries smooth_reporting(const ts::TimeSeries& load, int radius) {
+  PMIOT_CHECK(radius >= 0, "radius must be non-negative");
+  if (radius == 0) return load;
+  auto smoothed =
+      ts::moving_average(load.values(), static_cast<std::size_t>(radius));
+  return ts::TimeSeries(load.meta(), std::move(smoothed));
+}
+
+double billing_error(const ts::TimeSeries& original,
+                     const ts::TimeSeries& modified) {
+  const double base = original.energy_kwh();
+  PMIOT_CHECK(base > 0.0, "original trace has no energy");
+  return std::fabs(modified.energy_kwh() - base) / base;
+}
+
+}  // namespace pmiot::defense

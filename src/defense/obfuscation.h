@@ -1,0 +1,33 @@
+// Signal-level obfuscation defenses: noise injection and smoothing
+// (paper §III-B's "researchers have studied both noise injection and
+// smoothing as techniques to prevent occupancy detection").
+//
+// These operate on the *reported* data stream rather than on physical
+// loads: the meter (or a privacy gateway in front of it) perturbs what it
+// sends to the utility. Both are tunable, which makes them the simplest
+// instantiations of the paper's §III-E privacy knob — at the cost of
+// distorting every downstream analytic including billing.
+#pragma once
+
+#include "common/rng.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::defense {
+
+/// Adds zero-mean Gaussian noise of `sigma_kw` to every reported sample
+/// (clamped at zero). Billing error grows with sigma since clamping biases
+/// the total.
+ts::TimeSeries inject_noise(const ts::TimeSeries& load, double sigma_kw,
+                            Rng& rng);
+
+/// Reports a centered moving average over `radius` samples each side —
+/// removes the bursts NIOM keys on and the edges NILM keys on, while
+/// keeping total energy (and thus the bill) almost exact.
+ts::TimeSeries smooth_reporting(const ts::TimeSeries& load, int radius);
+
+/// Relative billing error introduced by a defense: |modified - original|
+/// total energy over the original (both in kWh).
+double billing_error(const ts::TimeSeries& original,
+                     const ts::TimeSeries& modified);
+
+}  // namespace pmiot::defense

@@ -1,0 +1,109 @@
+#include "defense/water_heater.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/civil_time.h"
+#include "common/error.h"
+
+namespace pmiot::defense {
+namespace {
+
+// Water: 4186 J/(kg*K), 1 kg/L -> kWh to heat V liters by 1 K.
+constexpr double kKwhPerLiterKelvin = 4186.0 / 3.6e6;
+
+}  // namespace
+
+WaterHeaterTank::WaterHeaterTank(TankOptions options, double initial_c)
+    : options_(options), temp_c_(initial_c) {
+  PMIOT_CHECK(options_.volume_liters > 0.0, "tank volume must be positive");
+  PMIOT_CHECK(options_.element_kw > 0.0, "element power must be positive");
+  PMIOT_CHECK(options_.max_temp_c > options_.min_temp_c,
+              "temperature band is empty");
+  PMIOT_CHECK(initial_c >= options_.inlet_c, "tank colder than inlet");
+}
+
+double WaterHeaterTank::kwh_per_degree() const noexcept {
+  return options_.volume_liters * kKwhPerLiterKelvin;
+}
+
+void WaterHeaterTank::step(double heat_kw, double draw_liters,
+                           double dt_minutes) {
+  PMIOT_CHECK(dt_minutes > 0.0, "time step must be positive");
+  PMIOT_CHECK(draw_liters >= 0.0, "draw must be non-negative");
+  heat_kw = std::clamp(heat_kw, 0.0, options_.element_kw);
+
+  // Element heating.
+  const double heat_kwh = heat_kw * dt_minutes / 60.0;
+  temp_c_ += heat_kwh / kwh_per_degree();
+
+  // Hot water replaced by inlet water (perfect mixing approximation).
+  const double draw = std::min(draw_liters, options_.volume_liters);
+  temp_c_ += (options_.inlet_c - temp_c_) * draw / options_.volume_liters;
+
+  // Standing losses toward ambient.
+  const double loss_kwh = options_.loss_w_per_k *
+                          std::max(0.0, temp_c_ - options_.ambient_c) *
+                          dt_minutes / 60.0 / 1000.0;
+  temp_c_ -= loss_kwh / kwh_per_degree();
+  temp_c_ = std::max(temp_c_, options_.inlet_c);
+}
+
+std::vector<double> simulate_hot_water_draws(const std::vector<int>& occupancy,
+                                             Rng& rng) {
+  PMIOT_CHECK(!occupancy.empty() && occupancy.size() % kMinutesPerDay == 0,
+              "occupancy must cover whole days");
+  std::vector<double> draws(occupancy.size(), 0.0);
+  const int days = static_cast<int>(occupancy.size() / kMinutesPerDay);
+
+  auto add_draw = [&](std::size_t day_first, double at_minute,
+                      double liters, int duration_min) {
+    for (int m = 0; m < duration_min; ++m) {
+      const auto idx =
+          day_first + static_cast<std::size_t>(
+                          std::clamp(at_minute + m, 0.0,
+                                     static_cast<double>(kMinutesPerDay - 1)));
+      if (occupancy[idx] != 0) {
+        draws[idx] += liters / duration_min;
+      }
+    }
+  };
+
+  for (int d = 0; d < days; ++d) {
+    const auto day_first = static_cast<std::size_t>(d) * kMinutesPerDay;
+    // Morning showers (1-2 people).
+    const int showers = static_cast<int>(rng.uniform_int(1, 2));
+    for (int s = 0; s < showers; ++s) {
+      add_draw(day_first, rng.normal(6.8 * 60, 40), rng.uniform(35, 60), 8);
+    }
+    // Evening dishes / cleanup.
+    add_draw(day_first, rng.normal(19.2 * 60, 45), rng.uniform(15, 30), 6);
+    // Scattered small daytime draws (hand washing, kitchen).
+    const int small = rng.poisson(5.0);
+    for (int s = 0; s < small; ++s) {
+      add_draw(day_first, rng.uniform(7 * 60, 22 * 60), rng.uniform(1, 5), 1);
+    }
+  }
+  return draws;
+}
+
+std::vector<double> thermostat_schedule(const TankOptions& options,
+                                        const std::vector<double>& draws) {
+  PMIOT_CHECK(!draws.empty(), "empty draw schedule");
+  WaterHeaterTank tank(options, options.setpoint_c);
+  std::vector<double> power(draws.size(), 0.0);
+  bool heating = false;
+  for (std::size_t t = 0; t < draws.size(); ++t) {
+    if (tank.temperature_c() < options.setpoint_c - options.deadband_c) {
+      heating = true;
+    } else if (tank.temperature_c() >= options.setpoint_c) {
+      heating = false;
+    }
+    const double kw = heating ? options.element_kw : 0.0;
+    tank.step(kw, draws[t], 1.0);
+    power[t] = kw;
+  }
+  return power;
+}
+
+}  // namespace pmiot::defense

@@ -1,0 +1,68 @@
+// Electric water-heater thermal model — the actuator behind CHPr.
+//
+// CHPr's whole premise (paper §III-B) is that an electric tank heater is a
+// large, free thermal battery: heating can be shifted in time at will as
+// long as the tank stays between a comfort floor (hot showers still work)
+// and a safety ceiling. This model tracks tank temperature under element
+// heating, hot-water draws, and standing losses at minute resolution.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmiot::defense {
+
+struct TankOptions {
+  double volume_liters = 189.0;   ///< 50-gallon tank (the paper's CHPr setup)
+  double element_kw = 4.5;        ///< resistive heating element
+  double setpoint_c = 55.0;       ///< conventional thermostat setpoint
+  double deadband_c = 5.0;        ///< conventional thermostat deadband
+  double max_temp_c = 70.0;       ///< CHPr is allowed to overheat to here
+  double min_temp_c = 45.0;       ///< delivery comfort floor
+  double inlet_c = 15.0;          ///< cold water inlet temperature
+  double ambient_c = 20.0;        ///< room temperature around the tank
+  double loss_w_per_k = 2.5;      ///< standing heat loss coefficient
+};
+
+/// Minute-stepped tank state.
+class WaterHeaterTank {
+ public:
+  explicit WaterHeaterTank(TankOptions options, double initial_c);
+
+  /// Advances one step: `heat_kw` element power (clamped to the element
+  /// rating), `draw_liters` of hot water replaced by inlet-temperature
+  /// water, over `dt_minutes`.
+  void step(double heat_kw, double draw_liters, double dt_minutes);
+
+  double temperature_c() const noexcept { return temp_c_; }
+  const TankOptions& options() const noexcept { return options_; }
+
+  /// Room to absorb more heat (below the safety ceiling).
+  bool can_heat() const noexcept { return temp_c_ < options_.max_temp_c; }
+
+  /// Comfort emergency: the tank must heat now regardless of privacy.
+  bool must_heat() const noexcept { return temp_c_ < options_.min_temp_c; }
+
+  /// kWh needed to raise the tank 1 degree C.
+  double kwh_per_degree() const noexcept;
+
+ private:
+  TankOptions options_;
+  double temp_c_;
+};
+
+/// Synthesizes per-minute hot-water draws (liters) from occupancy: morning
+/// showers, evening dishes/baths, small daytime draws — only while someone
+/// is home. Horizon is `occupancy.size()` minutes (whole days).
+std::vector<double> simulate_hot_water_draws(const std::vector<int>& occupancy,
+                                             Rng& rng);
+
+/// The conventional thermostat: heats at full power whenever the tank falls
+/// below setpoint - deadband, until it reaches the setpoint. Returns the
+/// per-minute element power for the given draw schedule (used as the
+/// baseline "uncontrolled water heater" load).
+std::vector<double> thermostat_schedule(const TankOptions& options,
+                                        const std::vector<double>& draws);
+
+}  // namespace pmiot::defense

@@ -1,0 +1,151 @@
+#include "geo/solar_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::geo {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDeg2Rad = M_PI / 180.0;
+constexpr double kRad2Deg = 180.0 / M_PI;
+// Standard horizon for sunrise/sunset: 90.833° zenith (refraction + disk).
+constexpr double kZenithCos = -0.01454389765158243;  // cos(90.833 deg)
+
+/// Fractional year angle (radians) at local solar noon of the day.
+double fractional_year(int day_of_year) {
+  return 2.0 * M_PI / 365.0 * (day_of_year - 1 + 0.5);
+}
+
+/// Day length (minutes) at latitude `lat_deg` for a given declination.
+/// Returns -1 for polar night, 24*60+1 for polar day.
+double day_length_minutes(double lat_deg, double decl_rad) {
+  const double lat = lat_deg * kDeg2Rad;
+  const double cos_ha = (kZenithCos - std::sin(lat) * std::sin(decl_rad)) /
+                        (std::cos(lat) * std::cos(decl_rad));
+  if (cos_ha > 1.0) return -1.0;                       // never rises
+  if (cos_ha < -1.0) return kMinutesPerDay + 1.0;      // never sets
+  const double ha_deg = std::acos(cos_ha) * kRad2Deg;
+  return 8.0 * ha_deg;  // 4 minutes per degree, sunrise + sunset halves
+}
+
+}  // namespace
+
+double haversine_km(const LatLon& a, const LatLon& b) noexcept {
+  const double lat1 = a.lat * kDeg2Rad;
+  const double lat2 = b.lat * kDeg2Rad;
+  const double dlat = (b.lat - a.lat) * kDeg2Rad;
+  const double dlon = (b.lon - a.lon) * kDeg2Rad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double declination_rad(int day_of_year) {
+  PMIOT_CHECK(day_of_year >= 1 && day_of_year <= 366, "day of year range");
+  const double g = fractional_year(day_of_year);
+  return 0.006918 - 0.399912 * std::cos(g) + 0.070257 * std::sin(g) -
+         0.006758 * std::cos(2 * g) + 0.000907 * std::sin(2 * g) -
+         0.002697 * std::cos(3 * g) + 0.00148 * std::sin(3 * g);
+}
+
+double equation_of_time_min(int day_of_year) {
+  PMIOT_CHECK(day_of_year >= 1 && day_of_year <= 366, "day of year range");
+  const double g = fractional_year(day_of_year);
+  return 229.18 * (0.000075 + 0.001868 * std::cos(g) - 0.032077 * std::sin(g) -
+                   0.014615 * std::cos(2 * g) - 0.040849 * std::sin(2 * g));
+}
+
+SolarTimes solar_times_utc(const LatLon& site, const CivilDate& date) {
+  PMIOT_CHECK(std::fabs(site.lat) <= 90.0, "latitude out of range");
+  const int doy = day_of_year(date);
+  const double decl = declination_rad(doy);
+  const double eqtime = equation_of_time_min(doy);
+
+  SolarTimes out;
+  out.solar_noon_utc_min = 720.0 - 4.0 * site.lon - eqtime;
+
+  const double daylen = day_length_minutes(site.lat, decl);
+  if (daylen < 0.0) {
+    out.polar_night = true;
+    out.sunrise_utc_min = out.sunset_utc_min = out.solar_noon_utc_min;
+    return out;
+  }
+  if (daylen > kMinutesPerDay) {
+    out.polar_day = true;
+    out.sunrise_utc_min = out.solar_noon_utc_min - kMinutesPerDay / 2.0;
+    out.sunset_utc_min = out.solar_noon_utc_min + kMinutesPerDay / 2.0;
+    return out;
+  }
+  out.sunrise_utc_min = out.solar_noon_utc_min - daylen / 2.0;
+  out.sunset_utc_min = out.solar_noon_utc_min + daylen / 2.0;
+  return out;
+}
+
+double solar_elevation_rad(const LatLon& site, const CivilDate& date,
+                           double utc_minute) {
+  PMIOT_CHECK(std::fabs(site.lat) <= 90.0, "latitude out of range");
+  const int doy = day_of_year(date);
+  const double decl = declination_rad(doy);
+  const double eqtime = equation_of_time_min(doy);
+
+  // True solar time in minutes, then hour angle in radians.
+  const double tst = utc_minute + 4.0 * site.lon + eqtime;
+  const double ha = (tst / 4.0 - 180.0) * kDeg2Rad;
+  const double lat = site.lat * kDeg2Rad;
+  const double sin_elev = std::sin(lat) * std::sin(decl) +
+                          std::cos(lat) * std::cos(decl) * std::cos(ha);
+  return std::asin(std::clamp(sin_elev, -1.0, 1.0));
+}
+
+double longitude_from_solar_noon(double noon_utc_min, int day_of_year) {
+  const double eqtime = equation_of_time_min(day_of_year);
+  return (720.0 - eqtime - noon_utc_min) / 4.0;
+}
+
+double latitude_from_day_length(double day_length_min, int day_of_year,
+                                bool northern_hint) {
+  PMIOT_CHECK(day_length_min > 0.0 && day_length_min < kMinutesPerDay,
+              "day length out of range");
+  const double decl = declination_rad(day_of_year);
+
+  // Near an equinox day length barely depends on latitude; fall back to the
+  // hemisphere hint's mid-latitude to avoid amplifying noise.
+  if (std::fabs(decl) < 0.5 * kDeg2Rad) {
+    return northern_hint ? 35.0 : -35.0;
+  }
+
+  // Day length is monotone in latitude for a fixed non-zero declination
+  // (increasing toward the summer-hemisphere pole). Bisection over a range
+  // that avoids polar day/night.
+  double lo = -66.0, hi = 66.0;
+  auto f = [&](double lat) {
+    const double d = day_length_minutes(lat, decl);
+    if (d < 0.0) return -static_cast<double>(kMinutesPerDay);  // polar night
+    if (d > kMinutesPerDay) return static_cast<double>(kMinutesPerDay);
+    return d - day_length_min;
+  };
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo * fhi > 0.0) {
+    // Target outside the achievable range: clamp to the closer endpoint.
+    return std::fabs(flo) < std::fabs(fhi) ? lo : hi;
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (flo * fm <= 0.0) {
+      hi = mid;
+      fhi = fm;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace pmiot::geo

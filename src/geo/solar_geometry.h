@@ -1,0 +1,64 @@
+// Solar position geometry (NOAA's simplified SPA equations).
+//
+// This is the physics both sides of the paper's solar privacy story share:
+// the synthetic generator uses it to produce realistic generation curves for
+// a (lat, lon) site, and the SunSpot attack inverts it — recovering
+// longitude from observed solar noon and latitude from observed day length.
+// All instants are minutes-from-midnight *UTC*; the modules deal with local
+// clocks at their own boundaries.
+#pragma once
+
+#include "common/civil_time.h"
+
+namespace pmiot::geo {
+
+/// Geographic coordinates in degrees; longitude positive east.
+struct LatLon {
+  double lat = 0.0;  ///< [-90, 90]
+  double lon = 0.0;  ///< [-180, 180]
+};
+
+/// Great-circle distance in kilometres (mean Earth radius 6371 km).
+double haversine_km(const LatLon& a, const LatLon& b) noexcept;
+
+/// Solar declination (radians) for a day of year (1..366).
+double declination_rad(int day_of_year);
+
+/// Equation of time (minutes, true-solar minus mean-solar) for a day of year.
+double equation_of_time_min(int day_of_year);
+
+/// Sunrise / solar-noon / sunset for a site and date, in UTC minutes.
+/// At extreme latitudes the sun may never rise or never set that day.
+struct SolarTimes {
+  double sunrise_utc_min = 0.0;
+  double solar_noon_utc_min = 0.0;
+  double sunset_utc_min = 0.0;
+  bool polar_day = false;    ///< sun never sets
+  bool polar_night = false;  ///< sun never rises
+
+  double day_length_min() const noexcept {
+    return sunset_utc_min - sunrise_utc_min;
+  }
+};
+
+/// Computes SolarTimes using the standard -0.833° refraction horizon.
+/// Requires valid date and |lat| <= 90.
+SolarTimes solar_times_utc(const LatLon& site, const CivilDate& date);
+
+/// Solar elevation angle (radians, negative below horizon) at a UTC minute
+/// of the given date. Minutes may fall outside [0,1440) and are normalized.
+double solar_elevation_rad(const LatLon& site, const CivilDate& date,
+                           double utc_minute);
+
+/// SunSpot inversion, longitude leg: the site longitude (degrees east) whose
+/// solar noon in UTC equals `noon_utc_min` on `day_of_year`.
+double longitude_from_solar_noon(double noon_utc_min, int day_of_year);
+
+/// SunSpot inversion, latitude leg: the latitude (bisection over [-66, 66])
+/// whose day length on `day_of_year` equals `day_length_min` minutes.
+/// `northern_hint` disambiguates the hemisphere when the day length is
+/// ambiguous (equal-length solutions exist on both sides of the equator).
+double latitude_from_day_length(double day_length_min, int day_of_year,
+                                bool northern_hint = true);
+
+}  // namespace pmiot::geo

@@ -1,0 +1,73 @@
+// Tabular datasets for the classical ML models in pmiot::ml.
+//
+// Features are dense row-major doubles; labels are small non-negative class
+// ids. The helpers cover the plumbing the paper's evaluations need: shuffled
+// train/test splits, k-fold cross-validation indices, and z-score scaling.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmiot::ml {
+
+/// A labelled dataset. Invariant (checked by `validate`): all rows have the
+/// same width and `labels.size() == rows.size()`.
+struct Dataset {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+
+  std::size_t size() const noexcept { return rows.size(); }
+  std::size_t width() const { return rows.empty() ? 0 : rows.front().size(); }
+
+  /// Throws InvalidArgument if the invariant does not hold or labels are
+  /// negative.
+  void validate() const;
+
+  /// Number of distinct classes assuming ids 0..max. Requires non-empty.
+  int num_classes() const;
+
+  void append(std::vector<double> row, int label);
+};
+
+/// Result of `train_test_split`.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffles and splits with `test_fraction` in (0,1) of rows held out.
+/// Requires at least 2 rows.
+Split train_test_split(const Dataset& data, double test_fraction, Rng& rng);
+
+/// Index folds for k-fold cross-validation (shuffled, near-equal sizes).
+/// Requires 2 <= k <= data.size().
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, int k,
+                                                    Rng& rng);
+
+/// Selects the rows at `indices` into a new dataset.
+Dataset take(const Dataset& data, std::span<const std::size_t> indices);
+
+/// Z-score feature scaler fit on training data and applied to any rows.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and stddev. Requires a non-empty dataset.
+  void fit(const Dataset& data);
+
+  /// Returns (x - mean) / stddev per column (stddev 0 columns pass through
+  /// centered). Requires fit() and matching width.
+  std::vector<double> transform(std::span<const double> row) const;
+
+  /// Applies `transform` to every row in place.
+  void transform_in_place(Dataset& data) const;
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace pmiot::ml

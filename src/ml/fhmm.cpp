@@ -1,0 +1,217 @@
+#include "ml/fhmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "ml/kmeans.h"
+
+namespace pmiot::ml {
+namespace {
+
+constexpr double kMinProb = 1e-9;
+
+}  // namespace
+
+void ApplianceChain::validate() const {
+  const std::size_t n = state_power.size();
+  PMIOT_CHECK(n >= 1, "chain needs at least one state");
+  PMIOT_CHECK(initial.size() == n, "initial size mismatch");
+  PMIOT_CHECK(transition.size() == n, "transition row count mismatch");
+  double s0 = 0.0;
+  for (double p : initial) {
+    PMIOT_CHECK(p >= 0.0, "negative initial probability");
+    s0 += p;
+  }
+  PMIOT_CHECK(std::fabs(s0 - 1.0) < 1e-6, "initial must sum to 1");
+  for (const auto& row : transition) {
+    PMIOT_CHECK(row.size() == n, "transition column count mismatch");
+    double s = 0.0;
+    for (double p : row) {
+      PMIOT_CHECK(p >= 0.0, "negative transition probability");
+      s += p;
+    }
+    PMIOT_CHECK(std::fabs(s - 1.0) < 1e-6, "transition rows must sum to 1");
+  }
+}
+
+ApplianceChain learn_chain(std::string name, std::span<const double> submetered,
+                           int num_states, Rng& rng) {
+  PMIOT_CHECK(!submetered.empty(), "need training data");
+  PMIOT_CHECK(num_states >= 1, "need at least one state");
+
+  auto clusters = kmeans1d(submetered, num_states, rng);
+  const auto n = clusters.centroids.size();
+
+  ApplianceChain chain;
+  chain.name = std::move(name);
+  chain.state_power.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    chain.state_power[c] = std::max(clusters.centroids[c][0], 0.0);
+  }
+  // Sort states by power so state 0 is off/lowest; remap assignments.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return chain.state_power[a] < chain.state_power[b];
+  });
+  std::vector<std::size_t> rank(n);
+  for (std::size_t i = 0; i < n; ++i) rank[order[i]] = i;
+  std::sort(chain.state_power.begin(), chain.state_power.end());
+
+  std::vector<std::size_t> seq(submetered.size());
+  for (std::size_t t = 0; t < submetered.size(); ++t) {
+    seq[t] = rank[static_cast<std::size_t>(clusters.assignment[t])];
+  }
+
+  // Empirical initial/transition with add-one style smoothing so every
+  // transition stays possible during joint decoding.
+  chain.initial.assign(n, kMinProb);
+  chain.initial[seq.front()] += 1.0;
+  double init_norm = 0.0;
+  for (double v : chain.initial) init_norm += v;
+  for (auto& v : chain.initial) v /= init_norm;
+
+  chain.transition.assign(n, std::vector<double>(n, 0.5));
+  for (std::size_t t = 0; t + 1 < seq.size(); ++t) {
+    chain.transition[seq[t]][seq[t + 1]] += 1.0;
+  }
+  for (auto& row : chain.transition) {
+    double s = 0.0;
+    for (double v : row) s += v;
+    for (auto& v : row) v /= s;
+  }
+  chain.validate();
+  return chain;
+}
+
+FactorialHmm::FactorialHmm(std::vector<ApplianceChain> chains,
+                           double noise_stddev)
+    : chains_(std::move(chains)), noise_stddev_(noise_stddev) {
+  PMIOT_CHECK(!chains_.empty(), "need at least one chain");
+  PMIOT_CHECK(noise_stddev_ > 0.0, "noise stddev must be positive");
+  for (const auto& c : chains_) c.validate();
+  joint_count_ = 1;
+  for (const auto& c : chains_) {
+    joint_count_ *= c.num_states();
+    PMIOT_CHECK(joint_count_ <= 4096, "joint state space too large");
+  }
+  joint_power_.resize(joint_count_);
+  for (std::size_t j = 0; j < joint_count_; ++j) {
+    const auto states = unpack(j);
+    double p = 0.0;
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      p += chains_[c].state_power[states[c]];
+    }
+    joint_power_[j] = p;
+  }
+}
+
+std::vector<std::size_t> FactorialHmm::unpack(std::size_t joint) const {
+  std::vector<std::size_t> states(chains_.size());
+  for (std::size_t c = chains_.size(); c-- > 0;) {
+    const auto n = chains_[c].num_states();
+    states[c] = joint % n;
+    joint /= n;
+  }
+  return states;
+}
+
+FhmmDecoding FactorialHmm::decode(std::span<const double> aggregate) const {
+  PMIOT_CHECK(!aggregate.empty(), "need observations");
+  const std::size_t k = joint_count_;
+  const std::size_t t_max = aggregate.size();
+
+  // Precompute per-joint unpacked states and log initial probabilities.
+  std::vector<std::vector<std::size_t>> unpacked(k);
+  std::vector<double> log_init(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    unpacked[j] = unpack(j);
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      log_init[j] +=
+          std::log(std::max(chains_[c].initial[unpacked[j][c]], kMinProb));
+    }
+  }
+
+  // Joint log transition matrix (k^2 doubles); k is capped at 4096 so the
+  // worst case is 128 MiB — cap the precomputation at 1024 states and fall
+  // back to on-the-fly sums beyond that.
+  const bool precompute = k <= 1024;
+  std::vector<double> log_trans;
+  if (precompute) {
+    log_trans.resize(k * k);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        double lt = 0.0;
+        for (std::size_t c = 0; c < chains_.size(); ++c) {
+          lt += std::log(std::max(
+              chains_[c].transition[unpacked[a][c]][unpacked[b][c]], kMinProb));
+        }
+        log_trans[a * k + b] = lt;
+      }
+    }
+  }
+  auto transition_log = [&](std::size_t a, std::size_t b) {
+    if (precompute) return log_trans[a * k + b];
+    double lt = 0.0;
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      lt += std::log(std::max(
+          chains_[c].transition[unpacked[a][c]][unpacked[b][c]], kMinProb));
+    }
+    return lt;
+  };
+
+  const double inv_2var = 0.5 / (noise_stddev_ * noise_stddev_);
+  const double log_norm =
+      -std::log(noise_stddev_ * std::sqrt(2.0 * M_PI));
+  auto emission_log = [&](std::size_t j, double obs) {
+    const double d = obs - joint_power_[j];
+    return log_norm - d * d * inv_2var;
+  };
+
+  std::vector<double> delta(k);
+  std::vector<double> next_delta(k);
+  std::vector<std::vector<int>> psi(t_max, std::vector<int>(k, 0));
+
+  for (std::size_t j = 0; j < k; ++j) {
+    delta[j] = log_init[j] + emission_log(j, aggregate[0]);
+  }
+  for (std::size_t t = 1; t < t_max; ++t) {
+    for (std::size_t b = 0; b < k; ++b) {
+      double best = -std::numeric_limits<double>::infinity();
+      int best_prev = 0;
+      for (std::size_t a = 0; a < k; ++a) {
+        const double cand = delta[a] + transition_log(a, b);
+        if (cand > best) {
+          best = cand;
+          best_prev = static_cast<int>(a);
+        }
+      }
+      next_delta[b] = best + emission_log(b, aggregate[t]);
+      psi[t][b] = best_prev;
+    }
+    delta.swap(next_delta);
+  }
+
+  std::vector<std::size_t> path(t_max);
+  const auto last = static_cast<std::size_t>(
+      std::max_element(delta.begin(), delta.end()) - delta.begin());
+  path[t_max - 1] = last;
+  for (std::size_t t = t_max - 1; t-- > 0;) {
+    path[t] = static_cast<std::size_t>(psi[t + 1][path[t + 1]]);
+  }
+
+  FhmmDecoding out;
+  out.log_likelihood = delta[last];
+  out.appliance_power.assign(chains_.size(), std::vector<double>(t_max, 0.0));
+  for (std::size_t t = 0; t < t_max; ++t) {
+    const auto& states = unpacked[path[t]];
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      out.appliance_power[c][t] = chains_[c].state_power[states[c]];
+    }
+  }
+  return out;
+}
+
+}  // namespace pmiot::ml

@@ -1,0 +1,75 @@
+// Factorial hidden Markov model for energy disaggregation.
+//
+// This is the conventional NILM baseline the paper's Figure 2 compares
+// PowerPlay against (Kolter & Johnson, REDD / SustKDD'11 methodology): each
+// appliance is an independent Markov chain over a small set of discrete
+// power states; the smart meter observes the *sum* of the per-chain state
+// powers plus Gaussian noise. Chains are learned from submetered training
+// data (k-means state discovery + empirical transitions), and the aggregate
+// test trace is decoded by exact Viterbi over the joint state space, which
+// is tractable for the handful of appliances the figure tracks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmiot::ml {
+
+/// One appliance's Markov chain over discrete power levels.
+struct ApplianceChain {
+  std::string name;
+  std::vector<double> state_power;              ///< kW per state, state 0 = off/lowest
+  std::vector<double> initial;                  ///< [state], sums to 1
+  std::vector<std::vector<double>> transition;  ///< [from][to], rows sum to 1
+
+  std::size_t num_states() const noexcept { return state_power.size(); }
+
+  /// Throws InvalidArgument on shape/stochasticity violations.
+  void validate() const;
+};
+
+/// Learns a chain from a submetered power trace: k-means finds `num_states`
+/// power levels, then transitions/initial are the empirical frequencies of
+/// the quantized trace. Requires a non-empty trace and num_states >= 1.
+ApplianceChain learn_chain(std::string name, std::span<const double> submetered,
+                           int num_states, Rng& rng);
+
+/// Joint decoding result: per-appliance inferred power over time.
+struct FhmmDecoding {
+  std::vector<std::vector<double>> appliance_power;  ///< [appliance][t], kW
+  double log_likelihood = 0.0;
+};
+
+class FactorialHmm {
+ public:
+  /// `noise_stddev` is the observation noise of the aggregate meter (> 0).
+  FactorialHmm(std::vector<ApplianceChain> chains, double noise_stddev);
+
+  std::size_t num_appliances() const noexcept { return chains_.size(); }
+
+  /// Product of per-chain state counts — the joint space Viterbi runs over.
+  std::size_t joint_state_count() const noexcept { return joint_count_; }
+
+  const ApplianceChain& chain(std::size_t i) const { return chains_[i]; }
+
+  /// Exact joint Viterbi decode of an aggregate trace. Cost is
+  /// O(T * K * B) where K = joint_state_count() and B is the per-state
+  /// predecessor fan-in (product of per-chain states, bounded by K); guarded
+  /// by a K <= 4096 precondition to keep runs tractable.
+  FhmmDecoding decode(std::span<const double> aggregate) const;
+
+ private:
+  /// Decodes a joint state id into per-chain state indices.
+  std::vector<std::size_t> unpack(std::size_t joint) const;
+
+  std::vector<ApplianceChain> chains_;
+  double noise_stddev_;
+  std::size_t joint_count_ = 1;
+  std::vector<double> joint_power_;  ///< [joint] sum of chain state powers
+};
+
+}  // namespace pmiot::ml

@@ -1,0 +1,85 @@
+// Hidden Markov model with 1-D Gaussian emissions.
+//
+// Implements the three classic problems — likelihood (scaled forward pass),
+// decoding (Viterbi), and learning (Baum-Welch EM) — for scalar observation
+// sequences. The HMM-based NIOM detector models {vacant, occupied} as hidden
+// states over smart-meter feature sequences (Kleiminger et al., BuildSys'13),
+// and single appliance chains reuse it for state estimation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmiot::ml {
+
+/// Parameters of a Gaussian-emission HMM. Rows of `transition` sum to 1;
+/// `initial` sums to 1; `stddev` strictly positive.
+struct HmmParams {
+  std::vector<double> initial;                  // [state]
+  std::vector<std::vector<double>> transition;  // [from][to]
+  std::vector<double> mean;                     // [state]
+  std::vector<double> stddev;                   // [state]
+
+  std::size_t num_states() const noexcept { return initial.size(); }
+
+  /// Throws InvalidArgument if shapes/stochasticity constraints fail.
+  void validate() const;
+};
+
+/// Result of Baum-Welch training.
+struct HmmFitResult {
+  int iterations = 0;
+  double log_likelihood = 0.0;
+  bool converged = false;
+};
+
+class GaussianHmm {
+ public:
+  /// Starts from explicit parameters (validated).
+  explicit GaussianHmm(HmmParams params);
+
+  /// Data-driven init: k-means on the observations for emission means,
+  /// near-uniform sticky transitions. Requires num_states >= 1 and
+  /// observations non-empty.
+  static GaussianHmm init_from_data(int num_states,
+                                    std::span<const double> observations,
+                                    Rng& rng);
+
+  const HmmParams& params() const noexcept { return params_; }
+
+  /// Total log-likelihood of `observations` (scaled forward algorithm).
+  double log_likelihood(std::span<const double> observations) const;
+
+  /// Most likely state sequence (Viterbi, log space).
+  std::vector<int> viterbi(std::span<const double> observations) const;
+
+  /// Posterior state marginals gamma[t][state] (forward-backward).
+  std::vector<std::vector<double>> posterior(
+      std::span<const double> observations) const;
+
+  /// Baum-Welch EM until the log-likelihood gain drops below `tolerance`
+  /// or `max_iterations` is reached. Keeps stddevs floored for stability.
+  HmmFitResult fit(std::span<const double> observations, int max_iterations = 50,
+                   double tolerance = 1e-4);
+
+ private:
+  /// Scaled forward pass; fills alpha (normalized per t) and the per-step
+  /// scaling factors; returns total log-likelihood.
+  double forward(std::span<const double> observations,
+                 std::vector<std::vector<double>>& alpha,
+                 std::vector<double>& scale) const;
+
+  /// Scaled backward pass matching `forward`'s scaling.
+  void backward(std::span<const double> observations,
+                std::span<const double> scale,
+                std::vector<std::vector<double>>& beta) const;
+
+  double emission(std::size_t state, double x) const;
+
+  HmmParams params_;
+};
+
+}  // namespace pmiot::ml

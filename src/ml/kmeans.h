@@ -1,0 +1,34 @@
+// k-means clustering (k-means++ init, Lloyd iterations).
+//
+// Used by the Kleiminger-style NIOM detector (clustering window features
+// into occupied/vacant regimes without labels) and by appliance-state
+// discovery in the FHMM trainer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmiot::ml {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  // [cluster][feature]
+  std::vector<int> assignment;                 // [row] -> cluster id
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+  int iterations = 0;
+};
+
+/// Clusters `rows` (non-empty, rectangular) into k >= 1 groups. If k exceeds
+/// the number of distinct rows, some clusters may come back empty-free by
+/// construction of k-means++ (duplicates collapse); `assignment` is always
+/// valid.
+KMeansResult kmeans(const std::vector<std::vector<double>>& rows, int k,
+                    Rng& rng, int max_iterations = 100);
+
+/// 1-D convenience overload used for appliance power-level discovery.
+KMeansResult kmeans1d(std::span<const double> xs, int k, Rng& rng,
+                      int max_iterations = 100);
+
+}  // namespace pmiot::ml

@@ -1,0 +1,67 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pmiot::ml {
+
+KnnClassifier::KnnClassifier(int k) : k_(k) {
+  PMIOT_CHECK(k >= 1, "k must be at least 1");
+}
+
+void KnnClassifier::fit(const Dataset& data) {
+  data.validate();
+  PMIOT_CHECK(!data.rows.empty(), "cannot fit on empty dataset");
+  train_ = data;
+}
+
+int KnnClassifier::predict(std::span<const double> row) const {
+  PMIOT_CHECK(!train_.rows.empty(), "classifier not fitted");
+  PMIOT_CHECK(row.size() == train_.width(), "row width mismatch");
+
+  struct Neighbour {
+    double dist2;
+    int label;
+  };
+  std::vector<Neighbour> all;
+  all.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    double d2 = 0.0;
+    const auto& t = train_.rows[i];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const double d = row[c] - t[c];
+      d2 += d * d;
+    }
+    all.push_back(Neighbour{d2, train_.labels[i]});
+  }
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(k_), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    [](const Neighbour& a, const Neighbour& b) {
+                      return a.dist2 < b.dist2;
+                    });
+  std::vector<int> votes(static_cast<std::size_t>(train_.num_classes()), 0);
+  for (std::size_t i = 0; i < k; ++i)
+    ++votes[static_cast<std::size_t>(all[i].label)];
+  // Majority vote; break ties in favour of the nearest neighbour's class.
+  int best = all[0].label;
+  for (std::size_t c = 0; c < votes.size(); ++c) {
+    if (votes[c] > votes[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+std::string KnnClassifier::name() const {
+  return "knn(k=" + std::to_string(k_) + ")";
+}
+
+std::vector<int> Classifier::predict_all(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& row : data.rows) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace pmiot::ml

@@ -1,0 +1,25 @@
+// k-nearest-neighbours classifier (Euclidean), brute-force search.
+//
+// Used as one of the fingerprinting models in the §IV evaluation; dataset
+// sizes there are a few thousand flows, where brute force is fine.
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace pmiot::ml {
+
+class KnnClassifier final : public Classifier {
+ public:
+  /// k >= 1 neighbours, majority vote, ties broken by nearest neighbour.
+  explicit KnnClassifier(int k = 5);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> row) const override;
+  std::string name() const override;
+
+ private:
+  int k_;
+  Dataset train_;
+};
+
+}  // namespace pmiot::ml

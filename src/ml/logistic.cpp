@@ -1,0 +1,81 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::ml {
+
+LogisticRegression::LogisticRegression(LogisticOptions options)
+    : options_(options) {
+  PMIOT_CHECK(options.learning_rate > 0.0, "learning_rate must be positive");
+  PMIOT_CHECK(options.l2 >= 0.0, "l2 must be non-negative");
+  PMIOT_CHECK(options.epochs >= 1, "epochs must be at least 1");
+}
+
+void LogisticRegression::fit(const Dataset& data) {
+  data.validate();
+  PMIOT_CHECK(!data.rows.empty(), "cannot fit on empty dataset");
+  num_classes_ = data.num_classes();
+  width_ = data.width();
+  const auto k = static_cast<std::size_t>(num_classes_);
+  weights_.assign(k, std::vector<double>(width_, 0.0));
+  bias_.assign(k, 0.0);
+
+  const double n = static_cast<double>(data.size());
+  std::vector<std::vector<double>> grad_w(k, std::vector<double>(width_));
+  std::vector<double> grad_b(k);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (auto& g : grad_w) std::fill(g.begin(), g.end(), 0.0);
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto p = predict_proba(data.rows[i]);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double err =
+            p[c] - (static_cast<std::size_t>(data.labels[i]) == c ? 1.0 : 0.0);
+        for (std::size_t f = 0; f < width_; ++f) {
+          grad_w[c][f] += err * data.rows[i][f];
+        }
+        grad_b[c] += err;
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t f = 0; f < width_; ++f) {
+        weights_[c][f] -= options_.learning_rate *
+                          (grad_w[c][f] / n + options_.l2 * weights_[c][f]);
+      }
+      bias_[c] -= options_.learning_rate * grad_b[c] / n;
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    std::span<const double> row) const {
+  PMIOT_CHECK(num_classes_ > 0, "classifier not fitted");
+  PMIOT_CHECK(row.size() == width_, "row width mismatch");
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::vector<double> logits(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    double z = bias_[c];
+    for (std::size_t f = 0; f < width_; ++f) z += weights_[c][f] * row[f];
+    logits[c] = z;
+  }
+  const double zmax = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  for (auto& z : logits) {
+    z = std::exp(z - zmax);
+    denom += z;
+  }
+  for (auto& z : logits) z /= denom;
+  return logits;
+}
+
+int LogisticRegression::predict(std::span<const double> row) const {
+  const auto p = predict_proba(row);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace pmiot::ml

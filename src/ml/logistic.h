@@ -1,0 +1,37 @@
+// Multinomial logistic regression trained by full-batch gradient descent
+// with L2 regularization. Provides calibrated class probabilities, which the
+// privacy-knob evaluator uses to measure residual leakage.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace pmiot::ml {
+
+struct LogisticOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 300;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticOptions options = {});
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> row) const override;
+  std::string name() const override { return "logistic"; }
+
+  /// Softmax class probabilities. Requires fit().
+  std::vector<double> predict_proba(std::span<const double> row) const;
+
+ private:
+  LogisticOptions options_;
+  int num_classes_ = 0;
+  std::size_t width_ = 0;
+  std::vector<std::vector<double>> weights_;  // [class][feature]
+  std::vector<double> bias_;                  // [class]
+};
+
+}  // namespace pmiot::ml

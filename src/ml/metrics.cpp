@@ -1,0 +1,92 @@
+#include "ml/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace pmiot::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::span<const int> predicted,
+                                 std::span<const int> actual, int num_classes)
+    : num_classes_(num_classes) {
+  PMIOT_CHECK(num_classes > 0, "num_classes must be positive");
+  PMIOT_CHECK(predicted.size() == actual.size(), "label size mismatch");
+  PMIOT_CHECK(!predicted.empty(), "no labels");
+  counts_.assign(static_cast<std::size_t>(num_classes) *
+                     static_cast<std::size_t>(num_classes),
+                 0);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    PMIOT_CHECK(actual[i] >= 0 && actual[i] < num_classes,
+                "actual label out of range");
+    PMIOT_CHECK(predicted[i] >= 0 && predicted[i] < num_classes,
+                "predicted label out of range");
+    ++counts_[static_cast<std::size_t>(actual[i]) *
+                  static_cast<std::size_t>(num_classes) +
+              static_cast<std::size_t>(predicted[i])];
+    ++total_;
+  }
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  PMIOT_CHECK(actual >= 0 && actual < num_classes_, "actual out of range");
+  PMIOT_CHECK(predicted >= 0 && predicted < num_classes_,
+              "predicted out of range");
+  return counts_[static_cast<std::size_t>(actual) *
+                     static_cast<std::size_t>(num_classes_) +
+                 static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  std::size_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  std::size_t predicted_cls = 0;
+  for (int a = 0; a < num_classes_; ++a) predicted_cls += count(a, cls);
+  if (predicted_cls == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(predicted_cls);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  std::size_t actual_cls = 0;
+  for (int p = 0; p < num_classes_; ++p) actual_cls += count(cls, p);
+  if (actual_cls == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(actual_cls);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double s = 0.0;
+  for (int c = 0; c < num_classes_; ++c) s += f1(c);
+  return s / num_classes_;
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  auto name_of = [&](int c) {
+    if (c < static_cast<int>(class_names.size())) return class_names[static_cast<std::size_t>(c)];
+    return "class" + std::to_string(c);
+  };
+  std::ostringstream os;
+  os << std::left << std::setw(16) << "actual\\pred";
+  for (int p = 0; p < num_classes_; ++p)
+    os << std::setw(12) << name_of(p).substr(0, 11);
+  os << '\n';
+  for (int a = 0; a < num_classes_; ++a) {
+    os << std::setw(16) << name_of(a).substr(0, 15);
+    for (int p = 0; p < num_classes_; ++p) os << std::setw(12) << count(a, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pmiot::ml

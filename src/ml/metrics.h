@@ -1,0 +1,43 @@
+// Multiclass evaluation metrics.
+//
+// Binary metrics (incl. the paper's MCC) live in common/stats.h; this header
+// adds the NxN confusion matrix and macro-averaged scores used by the device
+// fingerprinting evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmiot::ml {
+
+/// NxN confusion matrix; `counts[a][p]` is the number of samples of actual
+/// class `a` predicted as class `p`.
+class ConfusionMatrix {
+ public:
+  /// Builds from parallel label vectors (equal, non-zero length, ids in
+  /// [0, num_classes)).
+  ConfusionMatrix(std::span<const int> predicted, std::span<const int> actual,
+                  int num_classes);
+
+  int num_classes() const noexcept { return num_classes_; }
+  std::size_t count(int actual, int predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  double accuracy() const;
+  double precision(int cls) const;  ///< 0 when the class is never predicted
+  double recall(int cls) const;     ///< 0 when the class never occurs
+  double f1(int cls) const;
+  double macro_f1() const;
+
+  /// Pretty table with per-class rows, for bench output.
+  std::string to_string(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major num_classes x num_classes
+};
+
+}  // namespace pmiot::ml

@@ -1,0 +1,92 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::ml {
+
+GaussianNaiveBayes::GaussianNaiveBayes(double var_smoothing)
+    : var_smoothing_(var_smoothing) {
+  PMIOT_CHECK(var_smoothing >= 0.0, "var_smoothing must be non-negative");
+}
+
+void GaussianNaiveBayes::fit(const Dataset& data) {
+  data.validate();
+  PMIOT_CHECK(!data.rows.empty(), "cannot fit on empty dataset");
+  num_classes_ = data.num_classes();
+  const std::size_t w = data.width();
+  const auto k = static_cast<std::size_t>(num_classes_);
+
+  std::vector<std::size_t> counts(k, 0);
+  mean_.assign(k, std::vector<double>(w, 0.0));
+  variance_.assign(k, std::vector<double>(w, 0.0));
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto c = static_cast<std::size_t>(data.labels[i]);
+    ++counts[c];
+    for (std::size_t f = 0; f < w; ++f) mean_[c][f] += data.rows[i][f];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (auto& m : mean_[c]) m /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto c = static_cast<std::size_t>(data.labels[i]);
+    for (std::size_t f = 0; f < w; ++f) {
+      const double d = data.rows[i][f] - mean_[c][f];
+      variance_[c][f] += d * d;
+    }
+  }
+  // Largest per-feature variance over the whole dataset, for smoothing scale.
+  double max_var = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t f = 0; f < w; ++f) {
+      variance_[c][f] /= static_cast<double>(counts[c]);
+      max_var = std::max(max_var, variance_[c][f]);
+    }
+  }
+  const double eps = var_smoothing_ * std::max(max_var, 1.0);
+  for (auto& row : variance_) {
+    for (auto& v : row) v += eps + 1e-12;
+  }
+
+  log_prior_.assign(k, -std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      log_prior_[c] = std::log(static_cast<double>(counts[c]) /
+                               static_cast<double>(data.size()));
+    }
+  }
+}
+
+std::vector<double> GaussianNaiveBayes::log_joint(
+    std::span<const double> row) const {
+  PMIOT_CHECK(num_classes_ > 0, "classifier not fitted");
+  PMIOT_CHECK(row.size() == mean_.front().size(), "row width mismatch");
+  std::vector<double> out(static_cast<std::size_t>(num_classes_));
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    double lj = log_prior_[c];
+    if (!std::isfinite(lj)) {
+      out[c] = lj;
+      continue;
+    }
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      const double v = variance_[c][f];
+      const double d = row[f] - mean_[c][f];
+      lj += -0.5 * (std::log(2.0 * M_PI * v) + d * d / v);
+    }
+    out[c] = lj;
+  }
+  return out;
+}
+
+int GaussianNaiveBayes::predict(std::span<const double> row) const {
+  const auto lj = log_joint(row);
+  return static_cast<int>(
+      std::max_element(lj.begin(), lj.end()) - lj.begin());
+}
+
+}  // namespace pmiot::ml

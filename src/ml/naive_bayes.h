@@ -1,0 +1,36 @@
+// Gaussian naive Bayes classifier.
+//
+// Fits per-class, per-feature normal densities with Laplace-style variance
+// smoothing; fast to train and a standard baseline for the §IV device
+// fingerprinting comparison.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace pmiot::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  /// `var_smoothing` is added to every variance, as a fraction of the
+  /// largest feature variance (sklearn-style), to avoid zero variances.
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-9);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> row) const override;
+  std::string name() const override { return "naive-bayes"; }
+
+  /// Per-class log joint (unnormalized posterior); useful for confidence
+  /// thresholds in the anomaly detector.
+  std::vector<double> log_joint(std::span<const double> row) const;
+
+ private:
+  double var_smoothing_;
+  int num_classes_ = 0;
+  std::vector<double> log_prior_;                 // [class]
+  std::vector<std::vector<double>> mean_;         // [class][feature]
+  std::vector<std::vector<double>> variance_;     // [class][feature]
+};
+
+}  // namespace pmiot::ml

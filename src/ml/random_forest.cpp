@@ -1,0 +1,55 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::ml {
+
+RandomForest::RandomForest(ForestOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  PMIOT_CHECK(options.num_trees >= 1, "need at least one tree");
+}
+
+void RandomForest::fit(const Dataset& data) {
+  data.validate();
+  PMIOT_CHECK(!data.rows.empty(), "cannot fit on empty dataset");
+  num_classes_ = data.num_classes();
+  trees_.clear();
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::sqrt(static_cast<double>(data.width())))));
+  }
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample (with replacement), same size as the training set.
+    Dataset sample;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+      sample.append(data.rows[j], data.labels[j]);
+    }
+    DecisionTree tree(tree_options, rng_.next());
+    tree.fit(sample);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(std::span<const double> row) const {
+  PMIOT_CHECK(!trees_.empty(), "classifier not fitted");
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (const auto& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(row))];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+std::string RandomForest::name() const {
+  return "random-forest(n=" + std::to_string(options_.num_trees) + ")";
+}
+
+}  // namespace pmiot::ml

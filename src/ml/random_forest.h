@@ -1,0 +1,34 @@
+// Random forest: bootstrap-aggregated decision trees with random feature
+// subsets per split. The strongest of the fingerprinting models in §IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace pmiot::ml {
+
+struct ForestOptions {
+  int num_trees = 25;
+  TreeOptions tree;  ///< tree.max_features 0 -> sqrt(width) at fit time
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestOptions options = {}, std::uint64_t seed = 7);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> row) const override;
+  std::string name() const override;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  Rng rng_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace pmiot::ml

@@ -1,0 +1,112 @@
+#include "net/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pmiot::net {
+namespace {
+
+/// Traffic features are heavy-tailed (rates and byte counts span orders of
+/// magnitude); z-scores in log space keep ordinary bursts inside the
+/// envelope while attack traffic still lands far outside.
+double squash(double x) { return std::log1p(std::fabs(x)); }
+
+/// Per-feature variance floors (relative, absolute) in squashed space.
+/// Volume features (rates, bytes, sizes, inter-arrivals) are heavy-tailed
+/// even for benign devices, so they get generous floors. The *structural*
+/// features — distinct remotes/ports and the LAN fraction, the paper's
+/// "where those transmissions are directed" — are nearly constant for a
+/// healthy device, and a tight floor is what lets the detector see a single
+/// new exfiltration endpoint.
+struct Floor {
+  double relative;
+  double absolute;
+};
+
+Floor floor_for(std::size_t feature) {
+  switch (feature) {
+    case 9:   // distinct_remotes
+    case 10:  // distinct_ports
+    case 11:  // lan_fraction
+    case 16:  // flow_count
+      return Floor{0.05, 0.02};
+    case 7:  // up_fraction
+    case 8:  // udp_fraction
+      return Floor{0.10, 0.04};
+    default:  // rates, byte volumes, packet sizes, IATs, bursts, dns
+      return Floor{0.15, 0.05};
+  }
+}
+
+}  // namespace
+
+void AnomalyDetector::fit(const ml::Dataset& clean) {
+  clean.validate();
+  PMIOT_CHECK(!clean.rows.empty(), "cannot fit on empty dataset");
+  const auto types = static_cast<std::size_t>(clean.num_classes());
+  const std::size_t width = clean.width();
+
+  mean_.assign(types, std::vector<double>(width, 0.0));
+  stddev_.assign(types, std::vector<double>(width, 0.0));
+  std::vector<std::size_t> counts(types, 0);
+
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const auto t = static_cast<std::size_t>(clean.labels[i]);
+    ++counts[t];
+    for (std::size_t f = 0; f < width; ++f) {
+      mean_[t][f] += squash(clean.rows[i][f]);
+    }
+  }
+  for (std::size_t t = 0; t < types; ++t) {
+    PMIOT_CHECK(counts[t] >= 2, "need at least two windows per type");
+    for (auto& m : mean_[t]) m /= static_cast<double>(counts[t]);
+  }
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const auto t = static_cast<std::size_t>(clean.labels[i]);
+    for (std::size_t f = 0; f < width; ++f) {
+      const double d = squash(clean.rows[i][f]) - mean_[t][f];
+      stddev_[t][f] += d * d;
+    }
+  }
+  for (std::size_t t = 0; t < types; ++t) {
+    for (std::size_t f = 0; f < width; ++f) {
+      stddev_[t][f] =
+          std::sqrt(stddev_[t][f] / static_cast<double>(counts[t]));
+      // Floor: features that never vary in training still tolerate small
+      // absolute deviations relative to their scale.
+      const auto floor = floor_for(f);
+      stddev_[t][f] = std::max(
+          stddev_[t][f], floor.relative * std::fabs(mean_[t][f]) +
+                             floor.absolute);
+    }
+  }
+}
+
+double AnomalyDetector::score(std::span<const double> features,
+                              int type) const {
+  PMIOT_CHECK(fitted(), "detector not fitted");
+  PMIOT_CHECK(type >= 0 && type < num_types(), "unknown type");
+  const auto& m = mean_[static_cast<std::size_t>(type)];
+  const auto& s = stddev_[static_cast<std::size_t>(type)];
+  PMIOT_CHECK(features.size() == m.size(), "feature width mismatch");
+  // Attacks rarely disturb every feature; averaging across all of them
+  // would dilute a large deviation in a few (e.g. an exfiltration only
+  // moves upstream rate, packet size, and endpoint counts). Score on the
+  // top deviating quartile instead.
+  std::vector<double> z2(features.size());
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    const double z = (squash(features[f]) - m[f]) / s[f];
+    z2[f] = z * z;
+  }
+  const std::size_t top = std::max<std::size_t>(1, features.size() / 4);
+  std::partial_sort(z2.begin(), z2.begin() + static_cast<long>(top), z2.end(),
+                    std::greater<>());
+  double acc = 0.0;
+  for (std::size_t f = 0; f < top; ++f) acc += z2[f];
+  return std::sqrt(acc / static_cast<double>(top));
+}
+
+}  // namespace pmiot::net

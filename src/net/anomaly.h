@@ -1,0 +1,43 @@
+// Per-device-type behavioural anomaly detection (paper §IV).
+//
+// "Users will need to monitor their local networks to identify suspicious
+// network traffic patterns from devices based on their frequency of
+// transmission, the amount of data they transmit, and where those
+// transmissions are directed." The detector learns a per-type Gaussian
+// envelope of clean window features and scores new windows by normalized
+// deviation; compromised behaviours (scanning, flooding, exfiltration) land
+// far outside the envelope.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace pmiot::net {
+
+class AnomalyDetector {
+ public:
+  /// Learns per-type feature means/stddevs from a clean fingerprint
+  /// dataset (labels = device types).
+  void fit(const ml::Dataset& clean);
+
+  /// Root-mean-square z-score of the window against its type's envelope.
+  /// Scores around 1 are normal; compromised windows score far higher.
+  double score(std::span<const double> features, int type) const;
+
+  /// Convenience threshold check.
+  bool is_anomalous(std::span<const double> features, int type,
+                    double threshold = 4.0) const {
+    return score(features, type) > threshold;
+  }
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+  int num_types() const noexcept { return static_cast<int>(mean_.size()); }
+
+ private:
+  std::vector<std::vector<double>> mean_;    // [type][feature]
+  std::vector<std::vector<double>> stddev_;  // [type][feature]
+};
+
+}  // namespace pmiot::net

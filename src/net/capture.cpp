@@ -1,0 +1,80 @@
+#include "net/capture.h"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace pmiot::net {
+namespace {
+
+const char* proto_name(Protocol protocol) {
+  return protocol == Protocol::kTcp ? "tcp" : "udp";
+}
+
+}  // namespace
+
+void write_capture(std::ostream& os, std::span<const Packet> packets) {
+  os << "# pmiot-capture v1\n";
+  char line[128];
+  for (const auto& p : packets) {
+    std::snprintf(line, sizeof line, "%.6f %s %s:%u > %s:%u %d\n",
+                  p.timestamp_s, proto_name(p.protocol),
+                  ip_to_string(p.src_ip).c_str(), p.src_port,
+                  ip_to_string(p.dst_ip).c_str(), p.dst_port, p.size_bytes);
+    os << line;
+  }
+}
+
+std::vector<Packet> read_capture(std::istream& is) {
+  std::string line;
+  PMIOT_CHECK(std::getline(is, line) && line == "# pmiot-capture v1",
+              "missing pmiot-capture header");
+  std::vector<Packet> packets;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    double ts = 0.0;
+    char proto[8];
+    int sa, sb, sc, sd, da, db, dc, dd;
+    unsigned src_port = 0, dst_port = 0;
+    int size = 0;
+    const int fields = std::sscanf(
+        line.c_str(), "%lf %7s %d.%d.%d.%d:%u > %d.%d.%d.%d:%u %d", &ts,
+        proto, &sa, &sb, &sc, &sd, &src_port, &da, &db, &dc, &dd, &dst_port,
+        &size);
+    PMIOT_CHECK(fields == 13, "malformed capture row: " + line);
+    const std::string proto_text = proto;
+    PMIOT_CHECK(proto_text == "tcp" || proto_text == "udp",
+                "unknown protocol in row: " + line);
+    PMIOT_CHECK(src_port <= 0xffff && dst_port <= 0xffff,
+                "port out of range in row: " + line);
+    PMIOT_CHECK(size > 0, "non-positive size in row: " + line);
+    Packet packet;
+    packet.timestamp_s = ts;
+    packet.protocol = proto_text == "tcp" ? Protocol::kTcp : Protocol::kUdp;
+    packet.src_ip = make_ip(sa, sb, sc, sd);
+    packet.dst_ip = make_ip(da, db, dc, dd);
+    packet.src_port = static_cast<std::uint16_t>(src_port);
+    packet.dst_port = static_cast<std::uint16_t>(dst_port);
+    packet.size_bytes = size;
+    packets.push_back(packet);
+  }
+  return packets;
+}
+
+void save_capture(const std::string& path, std::span<const Packet> packets) {
+  std::ofstream os(path);
+  PMIOT_CHECK(os.good(), "cannot open for writing: " + path);
+  write_capture(os, packets);
+  PMIOT_CHECK(os.good(), "write failed: " + path);
+}
+
+std::vector<Packet> load_capture(const std::string& path) {
+  std::ifstream is(path);
+  PMIOT_CHECK(is.good(), "cannot open for reading: " + path);
+  return read_capture(is);
+}
+
+}  // namespace pmiot::net

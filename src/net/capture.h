@@ -1,0 +1,33 @@
+// Capture persistence: a pcap-like text format for packet streams.
+//
+// Real deployments would feed the gateway from libpcap; this format is the
+// simulation-world equivalent so captures can be saved, replayed against
+// different gateway configurations, inspected with standard text tools, or
+// produced by external generators. One packet per line:
+//
+//   # pmiot-capture v1
+//   0.512 tcp 10.0.0.10:40010 > 52.20.0.17:443 120
+//
+// (timestamp seconds, protocol, src ip:port, dst ip:port, size in bytes)
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace pmiot::net {
+
+/// Writes packets in the pmiot-capture text format.
+void write_capture(std::ostream& os, std::span<const Packet> packets);
+
+/// Parses a capture. Throws InvalidArgument on malformed input.
+std::vector<Packet> read_capture(std::istream& is);
+
+/// Convenience round-trips through files.
+void save_capture(const std::string& path, std::span<const Packet> packets);
+std::vector<Packet> load_capture(const std::string& path);
+
+}  // namespace pmiot::net

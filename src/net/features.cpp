@@ -1,0 +1,132 @@
+#include "net/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "net/packet.h"
+
+namespace pmiot::net {
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "pkt_rate_up",        // packets/s device -> elsewhere
+      "pkt_rate_down",      // packets/s elsewhere -> device
+      "byte_rate_up",       // bytes/s up
+      "byte_rate_down",     // bytes/s down
+      "mean_pkt_up",        // mean upstream packet size
+      "std_pkt_up",         // stddev of upstream packet size
+      "mean_pkt_down",      // mean downstream packet size
+      "up_fraction",        // upstream bytes / total bytes
+      "udp_fraction",       // udp packets / all packets
+      "distinct_remotes",   // distinct non-LAN peers
+      "distinct_ports",     // distinct destination ports (upstream)
+      "lan_fraction",       // packets to/from other LAN hosts
+      "iat_median",         // median upstream inter-arrival time
+      "iat_cv",             // coefficient of variation of upstream IATs
+      "burst_max_rate",     // max packets in any 10 s bucket, per second
+      "dns_rate",           // DNS exchanges per minute
+      "flow_count",         // distinct flows (5-tuple, 120 s idle timeout)
+  };
+  return names;
+}
+
+std::vector<double> extract_window_features(std::span<const Packet> packets,
+                                            std::uint32_t device_ip,
+                                            double t0, double t1) {
+  PMIOT_CHECK(t1 > t0, "empty window");
+  const double window_s = t1 - t0;
+
+  FlowTable flow_table;
+  std::vector<double> up_sizes, down_sizes, up_times;
+  double up_bytes = 0, down_bytes = 0;
+  std::size_t udp = 0, total = 0, lan_pkts = 0, dns = 0;
+  std::set<std::uint32_t> remotes;
+  std::set<std::uint16_t> ports;
+  std::vector<std::size_t> buckets(
+      static_cast<std::size_t>(window_s / 10.0) + 1, 0);
+
+  for (const auto& p : packets) {
+    if (p.timestamp_s < t0 || p.timestamp_s >= t1) continue;
+    const bool up = p.src_ip == device_ip;
+    const bool down = p.dst_ip == device_ip;
+    if (!up && !down) continue;
+    ++total;
+    flow_table.add(p);
+    if (p.protocol == Protocol::kUdp) ++udp;
+    const auto peer = up ? p.dst_ip : p.src_ip;
+    if (is_lan(peer) && (peer & 0xff) != 1) {
+      ++lan_pkts;  // LAN peer other than the router
+    } else if (!is_lan(peer)) {
+      remotes.insert(peer);
+    }
+    if (p.dst_port == 53 || p.src_port == 53) ++dns;
+    ++buckets[static_cast<std::size_t>((p.timestamp_s - t0) / 10.0)];
+    if (up) {
+      up_sizes.push_back(p.size_bytes);
+      up_bytes += p.size_bytes;
+      up_times.push_back(p.timestamp_s);
+      ports.insert(p.dst_port);
+    } else {
+      down_sizes.push_back(p.size_bytes);
+      down_bytes += p.size_bytes;
+    }
+  }
+
+  std::vector<double> f(feature_names().size(), 0.0);
+  if (total == 0) return f;
+
+  f[0] = static_cast<double>(up_sizes.size()) / window_s;
+  f[1] = static_cast<double>(down_sizes.size()) / window_s;
+  f[2] = up_bytes / window_s;
+  f[3] = down_bytes / window_s;
+  f[4] = up_sizes.empty() ? 0.0 : stats::mean(up_sizes);
+  f[5] = up_sizes.empty() ? 0.0 : stats::stddev(up_sizes);
+  f[6] = down_sizes.empty() ? 0.0 : stats::mean(down_sizes);
+  f[7] = (up_bytes + down_bytes) > 0 ? up_bytes / (up_bytes + down_bytes) : 0;
+  f[8] = static_cast<double>(udp) / static_cast<double>(total);
+  f[9] = static_cast<double>(remotes.size());
+  f[10] = static_cast<double>(ports.size());
+  f[11] = static_cast<double>(lan_pkts) / static_cast<double>(total);
+
+  if (up_times.size() >= 3) {
+    std::sort(up_times.begin(), up_times.end());
+    std::vector<double> iats;
+    for (std::size_t i = 1; i < up_times.size(); ++i) {
+      iats.push_back(up_times[i] - up_times[i - 1]);
+    }
+    f[12] = stats::median(iats);
+    const double m = stats::mean(iats);
+    f[13] = m > 0 ? stats::stddev(iats) / m : 0.0;
+  }
+  std::size_t burst = 0;
+  for (auto b : buckets) burst = std::max(burst, b);
+  f[14] = static_cast<double>(burst) / 10.0;
+  f[15] = static_cast<double>(dns) / (window_s / 60.0);
+  f[16] = static_cast<double>(flow_table.flows().size());
+  return f;
+}
+
+std::vector<std::vector<double>> windowed_features(
+    std::span<const Packet> packets, std::uint32_t device_ip,
+    double duration_s, double window_s) {
+  PMIOT_CHECK(window_s > 0.0 && duration_s >= window_s,
+              "need at least one full window");
+  std::vector<std::vector<double>> out;
+  for (double t0 = 0.0; t0 + window_s <= duration_s; t0 += window_s) {
+    auto f = extract_window_features(packets, device_ip, t0, t0 + window_s);
+    bool any = false;
+    for (double v : f) {
+      if (v != 0.0) {
+        any = true;
+        break;
+      }
+    }
+    if (any) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace pmiot::net

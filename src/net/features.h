@@ -1,0 +1,35 @@
+// Traffic features for device fingerprinting and anomaly detection.
+//
+// The paper's §IV calls for classifying devices "based on their typical
+// traffic patterns ... frequency of transmission, the amount of data they
+// transmit, and where those transmissions are directed". The feature vector
+// captures exactly those three axes per device per observation window.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace pmiot::net {
+
+/// Names of the features emitted by `extract_window_features`, in order.
+const std::vector<std::string>& feature_names();
+
+/// Computes the feature vector for one device (identified by its LAN IP)
+/// over packets within [t0, t1). `packets` may contain other devices'
+/// traffic; only packets to/from `device_ip` count. Returns a vector sized
+/// feature_names().size() (all zeros if the device was silent).
+std::vector<double> extract_window_features(std::span<const Packet> packets,
+                                            std::uint32_t device_ip,
+                                            double t0, double t1);
+
+/// Splits a capture into consecutive windows of `window_s` seconds and
+/// extracts one feature vector per window for the device. Windows with no
+/// traffic are skipped.
+std::vector<std::vector<double>> windowed_features(
+    std::span<const Packet> packets, std::uint32_t device_ip,
+    double duration_s, double window_s);
+
+}  // namespace pmiot::net

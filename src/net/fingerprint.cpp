@@ -1,0 +1,27 @@
+#include "net/fingerprint.h"
+
+#include "common/error.h"
+
+namespace pmiot::net {
+
+ml::Dataset build_fingerprint_dataset(const FingerprintOptions& options,
+                                      Rng& rng) {
+  PMIOT_CHECK(options.instances_per_type >= 1, "need instances");
+  // Simulate a whole home (merged capture) rather than isolated devices:
+  // in deployment the gateway sees hub polling and other cross-device
+  // chatter inside every device's window, so training must too.
+  const auto home =
+      simulate_home_network(options.instances_per_type, options.duration_s,
+                            rng);
+  ml::Dataset data;
+  for (const auto& device : home.devices) {
+    for (auto& row : windowed_features(home.packets, device.ip,
+                                       options.duration_s, options.window_s)) {
+      data.append(std::move(row), static_cast<int>(device.type));
+    }
+  }
+  data.validate();
+  return data;
+}
+
+}  // namespace pmiot::net

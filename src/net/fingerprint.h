@@ -1,0 +1,28 @@
+// Device-type fingerprinting dataset construction (paper §IV).
+//
+// Builds labelled (features, device-type) datasets by simulating many
+// device instances and extracting per-window traffic features — the input
+// to the classifier comparison in the §IV bench and to the smart gateway's
+// identification stage.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.h"
+#include "net/device.h"
+#include "net/features.h"
+
+namespace pmiot::net {
+
+struct FingerprintOptions {
+  int instances_per_type = 4;
+  double duration_s = 3 * 3600.0;
+  double window_s = 600.0;
+};
+
+/// Simulates a fleet and extracts one labelled row per device-window.
+/// Labels are the DeviceType integer values.
+ml::Dataset build_fingerprint_dataset(const FingerprintOptions& options,
+                                      Rng& rng);
+
+}  // namespace pmiot::net

@@ -1,0 +1,134 @@
+#include "net/gateway.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "net/features.h"
+
+namespace pmiot::net {
+
+const char* to_string(Zone zone) {
+  switch (zone) {
+    case Zone::kIot: return "iot";
+    case Zone::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+SmartGateway::SmartGateway(const ml::Classifier& classifier,
+                           const AnomalyDetector& detector,
+                           GatewayOptions options)
+    : classifier_(classifier), detector_(detector), options_(options) {
+  PMIOT_CHECK(options_.window_s > 0.0, "window must be positive");
+  PMIOT_CHECK(options_.windows_to_quarantine >= 1,
+              "quarantine debounce must be at least 1 window");
+}
+
+void SmartGateway::register_device(std::uint32_t ip, std::string name) {
+  PMIOT_CHECK(is_lan(ip), "devices must be on the LAN");
+  devices_[ip] = std::move(name);
+}
+
+GatewayReport SmartGateway::process(std::span<const Packet> packets,
+                                    double duration_s) const {
+  PMIOT_CHECK(duration_s >= options_.window_s, "capture shorter than window");
+  GatewayReport report;
+
+  struct State {
+    int consecutive_anomalous = 0;
+    Zone zone = Zone::kIot;
+    double quarantined_at = -1.0;
+    double max_score = 0.0;
+    std::vector<int> type_votes;
+  };
+  std::map<std::uint32_t, State> state;
+  for (const auto& [ip, name] : devices_) state[ip] = State{};
+
+  const int windows =
+      static_cast<int>(std::floor(duration_s / options_.window_s));
+  for (int w = 0; w < windows; ++w) {
+    const double t0 = w * options_.window_s;
+    const double t1 = t0 + options_.window_s;
+    for (const auto& [ip, name] : devices_) {
+      auto& st = state[ip];
+      const auto features = extract_window_features(packets, ip, t0, t1);
+      bool silent = true;
+      for (double v : features) {
+        if (v != 0.0) {
+          silent = false;
+          break;
+        }
+      }
+      if (silent) continue;
+
+      const int predicted = classifier_.predict(features);
+      st.type_votes.push_back(predicted);
+      // Evidence gate: a near-silent window cannot be judged (or do harm).
+      const double window_packets = (features[0] + features[1]) * options_.window_s;
+      if (window_packets < options_.min_packets_to_score) continue;
+      const double score = detector_.score(features, predicted);
+      st.max_score = std::max(st.max_score, score);
+
+      if (st.zone == Zone::kQuarantined) continue;
+      if (score > options_.anomaly_threshold) {
+        ++st.consecutive_anomalous;
+        report.events.push_back(GatewayEvent{
+            t1, name,
+            "anomalous window (score " + format_double(score, 1) +
+                ", looks like " +
+                std::string(to_string(static_cast<DeviceType>(predicted))) +
+                ")"});
+        if (st.consecutive_anomalous >= options_.windows_to_quarantine) {
+          st.zone = Zone::kQuarantined;
+          st.quarantined_at = t1;
+          report.events.push_back(
+              GatewayEvent{t1, name, "QUARANTINED: repeated anomalies"});
+        }
+      } else {
+        st.consecutive_anomalous = 0;
+      }
+    }
+  }
+
+  // Policy accounting over the raw capture: lateral LAN->LAN packets from
+  // IoT devices are blocked by least privilege; everything from a
+  // quarantined device after its quarantine time is dropped (except DNS).
+  for (const auto& p : packets) {
+    auto it = state.find(p.src_ip);
+    if (it == state.end()) continue;
+    const auto& st = it->second;
+    if (is_lan(p.dst_ip) && (p.dst_ip & 0xff) != 1 &&
+        devices_.count(p.dst_ip) == 0) {
+      // LAN destination that is not the router and not a registered IoT
+      // peer (hub-to-device chatter within the IoT zone is allowed).
+      ++report.lateral_packets_blocked;
+    }
+    if (st.zone == Zone::kQuarantined && p.timestamp_s >= st.quarantined_at &&
+        p.dst_port != 53) {
+      ++report.quarantine_packets_dropped;
+    }
+  }
+
+  for (const auto& [ip, name] : devices_) {
+    const auto& st = state[ip];
+    DeviceVerdict verdict;
+    verdict.device = name;
+    verdict.final_zone = st.zone;
+    verdict.quarantined_at_s = st.quarantined_at;
+    verdict.max_anomaly_score = st.max_score;
+    if (!st.type_votes.empty()) {
+      std::vector<int> counts(kNumDeviceTypes, 0);
+      for (int v : st.type_votes) {
+        if (v >= 0 && v < kNumDeviceTypes) ++counts[static_cast<std::size_t>(v)];
+      }
+      verdict.predicted_type = static_cast<int>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace pmiot::net

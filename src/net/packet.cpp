@@ -1,0 +1,92 @@
+#include "net/packet.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace pmiot::net {
+
+std::uint32_t make_ip(int a, int b, int c, int d) {
+  PMIOT_CHECK(a >= 0 && a <= 255 && b >= 0 && b <= 255 && c >= 0 && c <= 255 &&
+                  d >= 0 && d <= 255,
+              "ip octet out of range");
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d);
+}
+
+std::string ip_to_string(std::uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", ip >> 24, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+bool is_lan(std::uint32_t ip) noexcept {
+  return (ip >> 8) == (make_ip(10, 0, 0, 0) >> 8);
+}
+
+FlowTable::FlowTable(double idle_timeout_s)
+    : idle_timeout_s_(idle_timeout_s) {
+  PMIOT_CHECK(idle_timeout_s > 0.0, "timeout must be positive");
+}
+
+void FlowTable::add(const Packet& packet) {
+  // Canonicalize direction: (ip_a, port_a) is the numerically smaller
+  // endpoint, so both directions land on the same key.
+  FlowKey key;
+  bool forward;  // packet travels a -> b
+  if (packet.src_ip < packet.dst_ip ||
+      (packet.src_ip == packet.dst_ip && packet.src_port <= packet.dst_port)) {
+    key = FlowKey{packet.src_ip, packet.dst_ip, packet.src_port,
+                  packet.dst_port, packet.protocol};
+    forward = true;
+  } else {
+    key = FlowKey{packet.dst_ip, packet.src_ip, packet.dst_port,
+                  packet.src_port, packet.protocol};
+    forward = false;
+  }
+
+  // Find an active (non-timed-out) flow for the key.
+  for (std::size_t pos = 0; pos < active_.size(); ++pos) {
+    Flow& flow = flows_[active_[pos]];
+    if (!(flow.key == key)) continue;
+    if (packet.timestamp_s - flow.last_ts > idle_timeout_s_) {
+      // Timed out: retire it and start a new flow below.
+      active_.erase(active_.begin() + static_cast<long>(pos));
+      break;
+    }
+    flow.last_ts = std::max(flow.last_ts, packet.timestamp_s);
+    if (forward) {
+      ++flow.packets_ab;
+      flow.bytes_ab += static_cast<std::uint64_t>(packet.size_bytes);
+    } else {
+      ++flow.packets_ba;
+      flow.bytes_ba += static_cast<std::uint64_t>(packet.size_bytes);
+    }
+    return;
+  }
+
+  Flow flow;
+  flow.key = key;
+  flow.first_ts = flow.last_ts = packet.timestamp_s;
+  if (forward) {
+    flow.packets_ab = 1;
+    flow.bytes_ab = static_cast<std::uint64_t>(packet.size_bytes);
+  } else {
+    flow.packets_ba = 1;
+    flow.bytes_ba = static_cast<std::uint64_t>(packet.size_bytes);
+  }
+  flows_.push_back(flow);
+  active_.push_back(flows_.size() - 1);
+}
+
+void sort_by_time(std::vector<Packet>& packets) {
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+}
+
+}  // namespace pmiot::net

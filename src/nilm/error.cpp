@@ -1,0 +1,23 @@
+#include "nilm/error.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::nilm {
+
+double disaggregation_error(std::span<const double> estimated,
+                            std::span<const double> actual) {
+  PMIOT_CHECK(estimated.size() == actual.size(), "size mismatch");
+  PMIOT_CHECK(!estimated.empty(), "empty traces");
+  double abs_err = 0.0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < actual.size(); ++t) {
+    abs_err += std::fabs(estimated[t] - actual[t]);
+    total += actual[t];
+  }
+  PMIOT_CHECK(total > 0.0, "device used no energy in the window");
+  return abs_err / total;
+}
+
+}  // namespace pmiot::nilm

@@ -1,0 +1,18 @@
+// The paper's NILM accuracy metric (Figure 2's y axis).
+//
+// "Disaggregation error is the difference between a device's actual energy
+// usage and its inferred energy usage, normalized by its total energy usage.
+// ... an error factor of one indicates that the errors are equal to the
+// device's energy usage" — i.e. always inferring zero scores exactly 1.0.
+#pragma once
+
+#include <span>
+
+namespace pmiot::nilm {
+
+/// Sum_t |estimated(t) - actual(t)| / Sum_t actual(t).
+/// Requires equal sizes, non-empty, and non-zero actual energy.
+double disaggregation_error(std::span<const double> estimated,
+                            std::span<const double> actual);
+
+}  // namespace pmiot::nilm

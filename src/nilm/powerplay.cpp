@@ -1,0 +1,220 @@
+#include "nilm/powerplay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "timeseries/edges.h"
+
+namespace pmiot::nilm {
+
+LoadModel LoadModel::from_spec(const synth::ApplianceSpec& spec) {
+  LoadModel m;
+  m.name = spec.name;
+  m.standby_kw = spec.standby_kw;
+
+  const double spike = spec.startup_spike_kw;
+  if (spec.load_class == synth::LoadClass::kCyclical) {
+    m.cyclical = true;
+    m.on_edge_kw = spec.steady_kw + spec.startup_spike_kw - spec.standby_kw;
+    m.off_edge_kw = spec.steady_kw - spec.standby_kw;
+    m.track_kw = spec.steady_kw;
+    m.expected_on_minutes = spec.duty_on_min;
+    m.expected_off_minutes = spec.duty_off_min;
+    m.max_on_minutes = 2.5 * spec.duty_on_min;
+    m.min_on_minutes = std::max(1.0, 0.25 * spec.duty_on_min);
+    // Duty timing and the level check give cyclical loads strong secondary
+    // evidence, so the magnitude gate can be looser than for one-shot loads.
+    m.edge_tolerance = 0.3;
+  } else {
+    m.on_edge_kw = spec.steady_kw + spike - spec.standby_kw;
+    // At run end the draw falls from the duty phase it happens to be in;
+    // the full-power phase dominates for intra_duty >= 0.5.
+    m.off_edge_kw = spec.steady_kw - spec.standby_kw;
+    // Multi-phase loads (heater duty cycling inside a run): the tracker
+    // follows the heater edges themselves, so report the full-phase draw and
+    // let the intra-run off edge drop the estimate.
+    m.track_kw = spec.steady_kw;
+    m.max_on_minutes = 1.3 * spec.run_max_minutes;
+    m.min_on_minutes = 1.0;
+    m.require_paired_off_edge = spec.run_max_minutes <= 20.0;
+    if (spec.intra_duty < 1.0) {
+      // Heater re-engagement edge: low phase -> full phase, no spike.
+      m.alt_on_edge_kw = spec.steady_kw - spec.low_kw;
+    } else if (spike > 0.0) {
+      // Non-duty loads can still present a spikeless on edge when sampling
+      // splits the spike minute.
+      m.alt_on_edge_kw = spec.steady_kw - spec.standby_kw;
+    }
+  }
+  // Wandering electronic loads need a looser magnitude gate.
+  if (spec.load_class == synth::LoadClass::kNonLinear) {
+    m.edge_tolerance = 0.35;
+  }
+  PMIOT_CHECK(m.on_edge_kw > 0.0, "load has no detectable on edge");
+  return m;
+}
+
+PowerPlay::PowerPlay(std::vector<LoadModel> models)
+    : models_(std::move(models)) {
+  PMIOT_CHECK(!models_.empty(), "PowerPlay needs at least one load model");
+  for (const auto& m : models_) {
+    PMIOT_CHECK(m.on_edge_kw > 0.0 && m.off_edge_kw > 0.0,
+                "edges must be positive");
+    PMIOT_CHECK(m.edge_tolerance > 0.0 && m.edge_tolerance < 1.0,
+                "tolerance must be in (0,1)");
+  }
+}
+
+std::vector<TrackedLoad> PowerPlay::track(
+    const ts::TimeSeries& aggregate) const {
+  PMIOT_CHECK(!aggregate.empty(), "empty aggregate");
+  const double interval_minutes = aggregate.meta().interval_seconds / 60.0;
+
+  // The smallest edge any model could care about bounds the detector.
+  double min_interesting = std::numeric_limits<double>::max();
+  for (const auto& m : models_) {
+    min_interesting = std::min(
+        min_interesting,
+        std::min(m.on_edge_kw, m.off_edge_kw) * (1.0 - m.edge_tolerance));
+  }
+  const auto edges =
+      ts::detect_edges(aggregate.values(), std::max(0.03, min_interesting));
+
+  struct State {
+    bool on = false;
+    std::size_t on_since = 0;
+    bool has_cycled = false;
+    std::size_t off_since = 0;
+    double baseline_kw = 0.0;  ///< aggregate level just before turn-on
+  };
+  std::vector<State> state(models_.size());
+  std::vector<TrackedLoad> out(models_.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    out[i].name = models_[i].name;
+    out[i].power.assign(aggregate.size(), models_[i].standby_kw);
+  }
+
+  // Edges merge with same-direction drift from modulating loads; allow a
+  // small absolute overshoot beyond the model magnitude before penalizing.
+  constexpr double kMergeSlackKw = 0.04;
+  auto magnitude_error = [](double observed, double expected) {
+    double over = observed - expected;
+    if (over > 0.0) over = std::max(0.0, over - kMergeSlackKw);
+    else over = -over;
+    return over / expected;
+  };
+
+  std::size_t next_edge = 0;
+  for (std::size_t t = 0; t < aggregate.size(); ++t) {
+    // Consume all edges landing at this sample.
+    while (next_edge < edges.size() && edges[next_edge].index == t) {
+      const auto& e = edges[next_edge];
+      ++next_edge;
+      int best = -1;
+      double best_err = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < models_.size(); ++i) {
+        const auto& m = models_[i];
+        if (e.rising() && !state[i].on) {
+          // Thermostatic loads cannot restart immediately after switching
+          // off; their model's duty timing gates implausible re-triggers.
+          if (m.cyclical && state[i].has_cycled) {
+            const double off_minutes =
+                static_cast<double>(t - state[i].off_since) * interval_minutes;
+            if (off_minutes < m.refractory_fraction * m.expected_off_minutes) {
+              continue;
+            }
+          }
+          // Short-run loads must present their complete edge pair: a
+          // matching off edge within the plausible run window.
+          if (m.require_paired_off_edge) {
+            bool paired = false;
+            for (std::size_t j = next_edge; j < edges.size(); ++j) {
+              const double ahead_minutes =
+                  static_cast<double>(edges[j].index - t) * interval_minutes;
+              if (ahead_minutes > m.max_on_minutes) break;
+              if (!edges[j].rising() &&
+                  magnitude_error(-edges[j].delta, m.off_edge_kw) <=
+                      m.edge_tolerance) {
+                paired = true;
+                break;
+              }
+            }
+            if (!paired) continue;
+          }
+          double err = magnitude_error(e.delta, m.on_edge_kw);
+          if (m.alt_on_edge_kw > 0.0) {
+            err = std::min(err, magnitude_error(e.delta, m.alt_on_edge_kw));
+          }
+          if (err <= m.edge_tolerance && err < best_err) {
+            best_err = err;
+            best = static_cast<int>(i);
+          }
+        } else if (!e.rising() && state[i].on) {
+          const double on_minutes =
+              static_cast<double>(t - state[i].on_since) * interval_minutes;
+          if (on_minutes < m.min_on_minutes) continue;
+          const double err = magnitude_error(-e.delta, m.off_edge_kw);
+          if (err <= m.edge_tolerance && err < best_err) {
+            best_err = err;
+            best = static_cast<int>(i);
+          }
+        }
+      }
+      if (best >= 0) {
+        auto& s = state[static_cast<std::size_t>(best)];
+        if (e.rising()) {
+          s.on = true;
+          s.on_since = t;
+          // Baseline for the level check: the aggregate just before turn-on
+          // minus what the *other* tracked loads were estimated to draw, so
+          // their later cycling doesn't trip this load's check.
+          double others = 0.0;
+          for (std::size_t j = 0; j < models_.size(); ++j) {
+            if (j == static_cast<std::size_t>(best)) continue;
+            others += state[j].on ? models_[j].track_kw : models_[j].standby_kw;
+          }
+          s.baseline_kw = (t > 0 ? aggregate[t - 1] : 0.0) - others;
+        } else {
+          s.on = false;
+          s.has_cycled = true;
+          s.off_since = t;
+        }
+      }
+    }
+
+    // Guards for missed/misattributed off edges: a load cannot stay on
+    // longer than its model allows, and the aggregate cannot fall below the
+    // pre-on baseline plus a fraction of the tracked draw while it is on
+    // (the virtual sensor's consistency condition).
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+      if (!state[i].on) continue;
+      const auto& m = models_[i];
+      const double on_minutes =
+          static_cast<double>(t - state[i].on_since) * interval_minutes;
+      const bool too_long = on_minutes > m.max_on_minutes;
+      double others = 0.0;
+      for (std::size_t j = 0; j < models_.size(); ++j) {
+        if (j == i) continue;
+        others += state[j].on ? models_[j].track_kw : models_[j].standby_kw;
+      }
+      const bool level_broken =
+          m.level_check && t > state[i].on_since &&
+          aggregate[t] - others <
+              state[i].baseline_kw + m.level_check_fraction * m.track_kw;
+      if (too_long || level_broken) {
+        state[i].on = false;
+        state[i].has_cycled = true;
+        state[i].off_since = t;
+      }
+    }
+
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+      if (state[i].on) out[i].power[t] = models_[i].track_kw;
+    }
+  }
+  return out;
+}
+
+}  // namespace pmiot::nilm

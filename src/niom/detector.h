@@ -1,0 +1,112 @@
+// Non-Intrusive Occupancy Monitoring (NIOM) — the paper's §II-A attack.
+//
+// Detectors take only the aggregate smart-meter trace and emit per-sample
+// 0/1 occupancy estimates. Two families from the literature the paper
+// cites are implemented:
+//   * ThresholdNiom — Chen et al. (BuildSys'13): per-window mean/variance
+//     features compared against thresholds calibrated on overnight
+//     background usage.
+//   * HmmNiom — Kleiminger et al. (BuildSys'13): unsupervised 2-state
+//     Gaussian HMM over window features, higher-power state = occupied.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/knn.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::niom {
+
+/// Interface shared by occupancy detectors (and reused by the core privacy
+/// evaluator as the canonical occupancy *attack*).
+class OccupancyDetector {
+ public:
+  virtual ~OccupancyDetector() = default;
+
+  /// Per-sample 0/1 occupancy estimate, same length/resolution as `power`.
+  /// Requires at least one full detection window of samples.
+  virtual std::vector<int> detect(const ts::TimeSeries& power) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Chen-style threshold detector.
+class ThresholdNiom final : public OccupancyDetector {
+ public:
+  struct Options {
+    int window_minutes = 15;  ///< feature window
+    /// Threshold = night median + factor * night spread, per feature.
+    double mean_factor = 2.0;
+    double stddev_factor = 2.5;
+    /// Overnight calibration window, minutes of day [night_start, night_end).
+    int night_start_minute = 2 * 60;
+    int night_end_minute = 5 * 60;
+    /// Median-smooth the per-window decisions with this half-width.
+    int smooth_radius = 1;
+  };
+
+  ThresholdNiom() : ThresholdNiom(Options{}) {}
+  explicit ThresholdNiom(Options options);
+
+  std::vector<int> detect(const ts::TimeSeries& power) const override;
+  std::string name() const override { return "niom-threshold"; }
+
+ private:
+  Options options_;
+};
+
+/// Supervised k-NN detector (Kleiminger et al. also evaluated supervised
+/// classifiers). Threat model: the attacker has a short labelled history
+/// for the target home (e.g. from a prior occupancy leak, social media, or
+/// a few days of physical observation) and trains per-window features
+/// against it.
+class SupervisedNiom final : public OccupancyDetector {
+ public:
+  struct Options {
+    int window_minutes = 15;
+    int k = 7;  ///< neighbours
+  };
+
+  SupervisedNiom() : SupervisedNiom(Options{}) {}
+  explicit SupervisedNiom(Options options);
+
+  /// Trains on a labelled trace (per-minute ground-truth occupancy).
+  /// Must be called before detect().
+  void fit(const ts::TimeSeries& power,
+           const std::vector<int>& occupancy_minutes);
+
+  std::vector<int> detect(const ts::TimeSeries& power) const override;
+  std::string name() const override { return "niom-supervised-knn"; }
+
+  bool fitted() const noexcept;
+
+ private:
+  Options options_;
+  ml::KnnClassifier knn_;
+  ml::StandardScaler scaler_;
+  bool fitted_ = false;
+};
+
+/// Kleiminger-style unsupervised HMM detector.
+class HmmNiom final : public OccupancyDetector {
+ public:
+  struct Options {
+    int window_minutes = 15;
+    int em_iterations = 30;
+    std::uint64_t seed = 17;  ///< k-means init inside the HMM
+  };
+
+  HmmNiom() : HmmNiom(Options{}) {}
+  explicit HmmNiom(Options options);
+
+  std::vector<int> detect(const ts::TimeSeries& power) const override;
+  std::string name() const override { return "niom-hmm"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace pmiot::niom

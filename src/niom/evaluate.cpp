@@ -1,0 +1,67 @@
+#include "niom/evaluate.h"
+
+#include "common/error.h"
+#include "synth/occupancy.h"
+
+namespace pmiot::niom {
+
+std::vector<int> align_occupancy(const ts::TimeSeries& power,
+                                 const std::vector<int>& occupancy_minutes) {
+  const int interval = power.meta().interval_seconds;
+  PMIOT_CHECK(interval % 60 == 0,
+              "sub-minute traces not supported for occupancy alignment");
+  const int factor = interval / 60;
+  auto aligned = factor == 1
+                     ? occupancy_minutes
+                     : synth::downsample_occupancy(occupancy_minutes, factor);
+  PMIOT_CHECK(aligned.size() >= power.size(),
+              "occupancy does not cover the power trace");
+  aligned.resize(power.size());
+  return aligned;
+}
+
+NiomReport score_predictions(const std::string& name,
+                             const std::vector<int>& predicted,
+                             const ts::TimeSeries& power,
+                             const std::vector<int>& occupancy_minutes,
+                             const EvaluateOptions& options) {
+  PMIOT_CHECK(predicted.size() == power.size(),
+              "prediction length mismatch");
+  PMIOT_CHECK(options.score_end_minute > options.score_start_minute,
+              "empty scoring window");
+  const auto truth = align_occupancy(power, occupancy_minutes);
+
+  std::vector<int> scored_pred, scored_truth;
+  scored_pred.reserve(predicted.size());
+  scored_truth.reserve(predicted.size());
+  for (std::size_t t = 0; t < predicted.size(); ++t) {
+    const int mod = power.minute_of_day_at(t);
+    if (mod >= options.score_start_minute && mod < options.score_end_minute) {
+      scored_pred.push_back(predicted[t]);
+      scored_truth.push_back(truth[t]);
+    }
+  }
+  PMIOT_CHECK(!scored_pred.empty(), "no samples in scoring window");
+
+  NiomReport report;
+  report.detector = name;
+  report.confusion = stats::confusion(scored_pred, scored_truth);
+  report.accuracy = report.confusion.accuracy();
+  report.mcc = report.confusion.mcc();
+  report.precision = report.confusion.precision();
+  report.recall = report.confusion.recall();
+  return report;
+}
+
+NiomReport evaluate(const OccupancyDetector& detector,
+                    const ts::TimeSeries& power,
+                    const std::vector<int>& occupancy_minutes,
+                    const EvaluateOptions& options) {
+  const auto predicted = detector.detect(power);
+  PMIOT_ASSERT(predicted.size() == power.size(),
+               "detector returned wrong length");
+  return score_predictions(detector.name(), predicted, power,
+                           occupancy_minutes, options);
+}
+
+}  // namespace pmiot::niom

@@ -1,0 +1,62 @@
+// Scoring NIOM attacks against ground-truth occupancy.
+//
+// The paper reports NIOM performance as detection accuracy (§II-A:
+// "70-90% for a range of homes") and as MCC when measuring defenses
+// (Figure 6: 0.44 raw vs 0.045 under CHPr). Both come from the same
+// confusion matrix computed here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "niom/detector.h"
+
+namespace pmiot::niom {
+
+/// One detector-vs-home evaluation.
+struct NiomReport {
+  std::string detector;
+  stats::BinaryConfusion confusion;
+  double accuracy = 0.0;
+  double mcc = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Scoring options. The literature the paper cites (and its own Figure 1,
+/// which plots 8am-11pm) scores detection during waking hours: overnight the
+/// home is occupied but electrically indistinguishable from vacant, which is
+/// a labelling artifact rather than detector error.
+struct EvaluateOptions {
+  int score_start_minute = 0;              ///< inclusive, minute of day
+  int score_end_minute = kMinutesPerDay;   ///< exclusive
+};
+
+/// The 8am-11pm waking-hours window used by the paper's figures.
+inline EvaluateOptions waking_hours() {
+  return EvaluateOptions{8 * 60, 23 * 60};
+}
+
+/// Runs `detector` on `power` and scores it against per-minute ground truth
+/// `occupancy_minutes` (downsampled to the trace resolution by majority),
+/// counting only samples whose minute-of-day falls in the scoring window.
+/// Requires the occupancy horizon to cover the power trace.
+NiomReport evaluate(const OccupancyDetector& detector,
+                    const ts::TimeSeries& power,
+                    const std::vector<int>& occupancy_minutes,
+                    const EvaluateOptions& options = {});
+
+/// Scores an externally produced per-sample prediction the same way.
+NiomReport score_predictions(const std::string& name,
+                             const std::vector<int>& predicted,
+                             const ts::TimeSeries& power,
+                             const std::vector<int>& occupancy_minutes,
+                             const EvaluateOptions& options = {});
+
+/// Aligns per-minute ground truth to a trace's sampling grid (majority per
+/// sample period). Exposed for defenses that need aligned labels.
+std::vector<int> align_occupancy(const ts::TimeSeries& power,
+                                 const std::vector<int>& occupancy_minutes);
+
+}  // namespace pmiot::niom

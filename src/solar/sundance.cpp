@@ -1,0 +1,150 @@
+#include "solar/sundance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace pmiot::solar {
+
+ts::TimeSeries apparent_generation(const ts::TimeSeries& net) {
+  PMIOT_CHECK(!net.empty(), "empty net trace");
+  const auto per_day = net.samples_per_day();
+  PMIOT_CHECK(net.size() % per_day == 0, "trace must cover whole days");
+  const int days = static_cast<int>(net.size() / per_day);
+
+  // Diurnal solar phase from the negative dips: circular mean of
+  // minute-of-day weighted by max(0, -net).
+  double sin_sum = 0.0, cos_sum = 0.0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const double w = std::max(0.0, -net[i]);
+    const double theta =
+        2.0 * M_PI * (static_cast<double>(i % per_day) + 0.5) /
+        static_cast<double>(per_day);
+    sin_sum += w * std::sin(theta);
+    cos_sum += w * std::cos(theta);
+  }
+  PMIOT_CHECK(sin_sum != 0.0 || cos_sum != 0.0,
+              "net trace never goes negative; no solar signal to extract");
+  double phase = std::atan2(sin_sum, cos_sum) / (2.0 * M_PI);  // in days
+  if (phase < 0.0) phase += 1.0;
+  const auto noon_sample = static_cast<std::size_t>(
+      phase * static_cast<double>(per_day));
+
+  // Night window: half a day opposite the solar phase.
+  auto is_night = [&](std::size_t i) {
+    const auto s = i % per_day;
+    const auto diff = (s + per_day - noon_sample) % per_day;
+    return diff > per_day / 4 && diff < 3 * per_day / 4;
+  };
+
+  // Noise floor: overnight consumption wiggles (appliance cycling) also dip
+  // below the baseline and would masquerade as generation; gate the signal
+  // above the typical night deviation so "generating" means the sun.
+  std::vector<double> night_dips;
+  std::vector<double> day_base(static_cast<std::size_t>(days), 0.0);
+  for (int d = 0; d < days; ++d) {
+    std::vector<double> night;
+    for (std::size_t s = 0; s < per_day; ++s) {
+      const std::size_t i = static_cast<std::size_t>(d) * per_day + s;
+      if (is_night(i)) night.push_back(net[i]);
+    }
+    const double baseline = night.empty() ? 0.0 : stats::median(night);
+    day_base[static_cast<std::size_t>(d)] = baseline;
+    for (double v : night) night_dips.push_back(std::max(0.0, baseline - v));
+  }
+  const double floor =
+      night_dips.empty() ? 0.0 : 1.5 * stats::quantile(night_dips, 0.95);
+
+  std::vector<double> out(net.size(), 0.0);
+  for (int d = 0; d < days; ++d) {
+    const double baseline = day_base[static_cast<std::size_t>(d)];
+    for (std::size_t s = 0; s < per_day; ++s) {
+      const std::size_t i = static_cast<std::size_t>(d) * per_day + s;
+      const double apparent = baseline - net[i];
+      out[i] = apparent > floor ? apparent : 0.0;
+    }
+  }
+  return ts::TimeSeries(net.meta(), std::move(out));
+}
+
+SunDanceResult sundance_disaggregate(
+    const ts::TimeSeries& net, const geo::LatLon& location,
+    const std::optional<std::vector<double>>& hourly_cloud,
+    const SunDanceOptions& options) {
+  PMIOT_CHECK(!net.empty(), "empty net trace");
+  const auto per_day = net.samples_per_day();
+  PMIOT_CHECK(net.size() % per_day == 0, "trace must cover whole days");
+  const int days = static_cast<int>(net.size() / per_day);
+  const double interval_min = net.meta().interval_seconds / 60.0;
+  if (hourly_cloud) {
+    PMIOT_CHECK(hourly_cloud->size() * 60 >=
+                    net.size() * static_cast<std::size_t>(interval_min),
+                "cloud series does not cover the trace");
+  }
+
+  // Clear-sky shape and per-sample cloud factor.
+  std::vector<double> clear(net.size(), 0.0);
+  std::vector<double> cloud_factor(net.size(), 1.0);
+  double clear_max = 0.0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const double elev = geo::solar_elevation_rad(
+        location, net.date_at(i),
+        static_cast<double>(net.minute_of_day_at(i)) + 0.5 * interval_min);
+    if (elev > 0.0) {
+      clear[i] = std::pow(std::sin(elev), options.air_mass_exponent);
+      clear_max = std::max(clear_max, clear[i]);
+    }
+    if (hourly_cloud) {
+      const auto hour = static_cast<std::size_t>(
+          static_cast<double>(i) * interval_min / 60.0);
+      const double cloud = (*hourly_cloud)[hour];
+      cloud_factor[i] =
+          1.0 - options.cloud_attenuation * std::pow(cloud, 1.4);
+    }
+  }
+  PMIOT_CHECK(clear_max > 0.0, "location never sees the sun");
+
+  // Per-day overnight consumption baseline: with no sun, net == consumption.
+  std::vector<double> day_baseline(static_cast<std::size_t>(days), 0.0);
+  for (int d = 0; d < days; ++d) {
+    std::vector<double> night;
+    for (std::size_t s = 0; s < per_day; ++s) {
+      const std::size_t i = static_cast<std::size_t>(d) * per_day + s;
+      if (clear[i] <= 0.0) night.push_back(net[i]);
+    }
+    day_baseline[static_cast<std::size_t>(d)] =
+        night.empty() ? 0.0 : stats::median(night);
+  }
+
+  // Calibrate the clear-sky peak: apparent generation over expected shape,
+  // high quantile = the clear moments.
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (clear[i] < options.min_clear_fraction * clear_max) continue;
+    if (cloud_factor[i] < options.min_calibration_cloud_factor) continue;
+    const double expected = clear[i] * cloud_factor[i];
+    if (expected <= 0.05) continue;
+    const double apparent =
+        day_baseline[i / per_day] - net[i];  // may be negative
+    ratios.push_back(apparent / expected);
+  }
+  PMIOT_CHECK(!ratios.empty(), "no daylight samples to calibrate on");
+  const double scale =
+      std::max(0.0, stats::quantile(ratios, options.scale_quantile));
+
+  SunDanceResult result;
+  result.scale_kw = scale;
+  std::vector<double> gen(net.size(), 0.0);
+  std::vector<double> cons(net.size(), 0.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    gen[i] = std::clamp(scale * clear[i] * cloud_factor[i], 0.0, scale);
+    cons[i] = std::max(0.0, net[i] + gen[i]);
+  }
+  result.generation_estimate = ts::TimeSeries(net.meta(), std::move(gen));
+  result.consumption_estimate = ts::TimeSeries(net.meta(), std::move(cons));
+  return result;
+}
+
+}  // namespace pmiot::solar

@@ -1,0 +1,56 @@
+// SunDance — black-box behind-the-meter solar disaggregation
+// (Chen & Irwin, e-Energy'17; the paper's §II-B net-meter attack).
+//
+// Utilities usually see only *net* meter data (consumption minus solar
+// generation). SunDance separates the two using a universal PV performance
+// model: calibrate the site's clear-sky envelope from the sunniest samples,
+// attenuate it with weather data from a nearby public station, subtract the
+// modelled generation from the net signal, and what remains is consumption —
+// which is then vulnerable to NIOM/NILM like any other smart-meter trace.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/solar_geometry.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::solar {
+
+struct SunDanceOptions {
+  double air_mass_exponent = 1.15;   ///< universal PV elevation response
+  double cloud_attenuation = 0.82;   ///< output lost under full overcast
+  double scale_quantile = 0.98;      ///< clear-sky calibration quantile
+  /// Daylight samples participate in calibration above this fraction of the
+  /// maximum clear-sky value.
+  double min_clear_fraction = 0.3;
+  /// Calibration uses only samples at least this clear (cloud factor),
+  /// since the quantile should capture the clear-sky envelope.
+  double min_calibration_cloud_factor = 0.6;
+};
+
+struct SunDanceResult {
+  ts::TimeSeries generation_estimate;   ///< kW, >= 0
+  ts::TimeSeries consumption_estimate;  ///< kW, >= 0
+  double scale_kw = 0.0;                ///< calibrated clear-sky peak
+};
+
+/// Recovers an approximate generation signal from a net-meter trace for
+/// feeding a SunSpot localization: estimates the diurnal solar phase from
+/// the net signal's negative dips, takes each day's overnight net median as
+/// the consumption baseline, and returns max(0, baseline - net). This
+/// restores the morning/evening generation shoulders that a naive
+/// max(0, -net) truncates (generation below consumption never drives the
+/// net negative).
+ts::TimeSeries apparent_generation(const ts::TimeSeries& net);
+
+/// Disaggregates a UTC net-meter trace (net = consumption - generation, may
+/// be negative) covering whole days. `location` comes from site metadata or
+/// a SunSpot attack on the trace; `hourly_cloud`, when provided, is the
+/// cloud series of a nearby public weather station (length >= trace hours).
+SunDanceResult sundance_disaggregate(
+    const ts::TimeSeries& net, const geo::LatLon& location,
+    const std::optional<std::vector<double>>& hourly_cloud = std::nullopt,
+    const SunDanceOptions& options = {});
+
+}  // namespace pmiot::solar

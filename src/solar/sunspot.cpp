@@ -1,0 +1,185 @@
+#include "solar/sunspot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace pmiot::solar {
+namespace {
+
+// Panels produce measurable output only once the sun is a little above the
+// horizon; the attacker models that with generic PV physics (output ~
+// sin(elevation)^k) to correct the observed day length back to the true
+// sunrise-to-sunset interval.
+constexpr double kAirMassExponent = 1.15;
+
+/// Minutes after true sunrise at which relative output first exceeds
+/// `threshold_fraction` of the noon output, for a site at `lat` on `date`.
+double threshold_crossing_offset(const geo::LatLon& site,
+                                 const CivilDate& date,
+                                 double threshold_fraction) {
+  const auto times = geo::solar_times_utc(site, date);
+  if (times.polar_day || times.polar_night) return 0.0;
+  const double noon_elev =
+      geo::solar_elevation_rad(site, date, times.solar_noon_utc_min);
+  if (noon_elev <= 0.0) return 0.0;
+  const double target_sin =
+      std::pow(threshold_fraction, 1.0 / kAirMassExponent) *
+      std::sin(noon_elev);
+  const double target_elev = std::asin(std::clamp(target_sin, -1.0, 1.0));
+
+  double lo = times.sunrise_utc_min;
+  double hi = times.solar_noon_utc_min;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (geo::solar_elevation_rad(site, date, mid) < target_elev)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi) - times.sunrise_utc_min;
+}
+
+}  // namespace
+
+SunSpotResult sunspot_localize(const ts::TimeSeries& generation,
+                               const SunSpotOptions& options) {
+  PMIOT_CHECK(!generation.empty(), "empty generation trace");
+  PMIOT_CHECK(options.generation_threshold > 0.0 &&
+                  options.generation_threshold < 1.0,
+              "threshold fraction must be in (0,1)");
+  const auto per_day = generation.samples_per_day();
+  PMIOT_CHECK(generation.size() % per_day == 0,
+              "trace must cover whole days");
+  const int days = static_cast<int>(generation.size() / per_day);
+  const double interval_min = generation.meta().interval_seconds / 60.0;
+
+  const double trace_max = stats::max(generation.values());
+  PMIOT_CHECK(trace_max > 0.0, "trace never generates");
+  const double threshold = options.generation_threshold * trace_max;
+
+  // Phase 0: a UTC-indexed trace from a western site wraps its solar day
+  // across the UTC midnight boundary. Estimate the diurnal phase (rough
+  // solar noon, UTC minutes) as the circular mean of generation-weighted
+  // minute-of-day, then slice noon-centred windows instead of civil days.
+  double sin_sum = 0.0, cos_sum = 0.0;
+  for (std::size_t i = 0; i < generation.size(); ++i) {
+    const double theta = 2.0 * M_PI *
+                         ((static_cast<double>(i % per_day) + 0.5) *
+                          interval_min / kMinutesPerDay);
+    sin_sum += generation[i] * std::sin(theta);
+    cos_sum += generation[i] * std::cos(theta);
+  }
+  double phase_min =
+      std::atan2(sin_sum, cos_sum) / (2.0 * M_PI) * kMinutesPerDay;
+  if (phase_min < 0.0) phase_min += kMinutesPerDay;
+  // Window start offset so each window is centred on the rough noon.
+  double offset_min = phase_min - kMinutesPerDay / 2.0;
+  long offset_samples = std::lround(offset_min / interval_min);
+
+  // Pass 1: extract raw per-window signatures. Sample index i of window d
+  // sits at UTC minute offset_min + i*interval within the window's base day.
+  std::vector<DaySignature> all;
+  std::vector<double> gen_counts;
+  for (int d = 0; d < days; ++d) {
+    const long base =
+        static_cast<long>(d) * static_cast<long>(per_day) + offset_samples;
+    if (base < 0 ||
+        base + static_cast<long>(per_day) > static_cast<long>(generation.size())) {
+      continue;  // partial window at the trace boundary
+    }
+    const auto day =
+        generation.slice(static_cast<std::size_t>(base), per_day);
+    const auto smoothed = ts::median_filter(
+        day.values(), static_cast<std::size_t>(options.smooth_radius));
+
+    std::size_t first = per_day, last = 0, count = 0;
+    double energy = 0.0, weighted = 0.0;
+    for (std::size_t s = 0; s < smoothed.size(); ++s) {
+      if (smoothed[s] > threshold) {
+        if (first == per_day) first = s;
+        last = s;
+        ++count;
+      }
+      energy += smoothed[s];
+      weighted += smoothed[s] * static_cast<double>(s);
+    }
+    gen_counts.push_back(static_cast<double>(count));
+    if (count < 10 || energy <= 0.0) continue;
+
+    DaySignature sig;
+    // The window's civil date is taken at its centre (the rough noon).
+    sig.date = generation.date_at(
+        static_cast<std::size_t>(base) + per_day / 2);
+    sig.day_peak_kw = stats::max(smoothed);
+    const double window_start_min =
+        static_cast<double>(offset_samples) * interval_min;
+    sig.first_gen_min =
+        window_start_min + (static_cast<double>(first) + 0.5) * interval_min;
+    sig.last_gen_min =
+        window_start_min + (static_cast<double>(last) + 0.5) * interval_min;
+    sig.noon_min =
+        window_start_min + (weighted / energy + 0.5) * interval_min;
+    sig.day_length_min =
+        options.asymmetric_day_length
+            ? 2.0 * std::max(sig.noon_min - sig.first_gen_min,
+                             sig.last_gen_min - sig.noon_min)
+            : sig.last_gen_min - sig.first_gen_min;
+    all.push_back(sig);
+  }
+  PMIOT_CHECK(!all.empty(), "no usable generation days");
+
+  // Pass 2: drop heavily overcast days (short generating spans).
+  const double best_count = stats::max(gen_counts);
+  const double min_count = options.min_day_quality * best_count;
+  std::vector<DaySignature> used;
+  for (const auto& sig : all) {
+    if ((sig.day_length_min / interval_min) >= min_count) used.push_back(sig);
+  }
+  if (used.empty()) used = all;
+
+  // Longitude: invert the solar-noon time per day, take the median.
+  std::vector<double> lons;
+  for (const auto& sig : used) {
+    lons.push_back(
+        geo::longitude_from_solar_noon(sig.noon_min, day_of_year(sig.date)));
+  }
+  const double lon = stats::median(lons);
+
+  // Latitude: invert the day length per day, iterating the threshold-offset
+  // correction (which itself depends on latitude).
+  double lat = options.northern_hemisphere ? 40.0 : -40.0;
+  for (int iter = 0; iter < 3; ++iter) {
+    std::vector<double> lats;
+    for (const auto& sig : used) {
+      // The crossing happens where *that day's* output passes the absolute
+      // threshold, so express the threshold relative to the day's peak (a
+      // cloudy day crosses later than a clear one). The median filter also
+      // delays the first/last crossing by about its half-width.
+      const double day_fraction =
+          std::min(0.45, threshold / std::max(sig.day_peak_kw, threshold));
+      const double offset = threshold_crossing_offset(
+          geo::LatLon{lat, lon}, sig.date, day_fraction);
+      const double smoothing_delay_min =
+          static_cast<double>(options.smooth_radius) * interval_min;
+      const double corrected =
+          sig.day_length_min + 2.0 * (offset + smoothing_delay_min);
+      if (corrected <= 0.0 || corrected >= kMinutesPerDay) continue;
+      lats.push_back(geo::latitude_from_day_length(
+          corrected, day_of_year(sig.date), options.northern_hemisphere));
+    }
+    if (lats.empty()) break;
+    lat = stats::median(lats);
+  }
+
+  SunSpotResult result;
+  result.estimate = geo::LatLon{lat, lon};
+  result.days_used = static_cast<int>(used.size());
+  result.signatures = std::move(used);
+  return result;
+}
+
+}  // namespace pmiot::solar

@@ -1,0 +1,55 @@
+// SunSpot — localizing anonymous solar-powered homes from generation data
+// (Chen, Iyengar, Irwin, Shenoy — BuildSys'16; the paper's §II-B attack).
+//
+// Solar generation embeds the site's location: the time of solar noon is a
+// function of longitude (plus the equation of time) and the day length is a
+// function of latitude (given the date). SunSpot extracts per-day sunrise /
+// solar-noon / sunset estimates from the generation trace, inverts the solar
+// geometry per day, and aggregates with medians for robustness to weather.
+#pragma once
+
+#include <vector>
+
+#include "geo/solar_geometry.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::solar {
+
+struct SunSpotOptions {
+  /// A sample counts as "generating" above this fraction of the trace max.
+  double generation_threshold = 0.02;
+  /// Median-filter half-width (samples) applied per day before detection.
+  int smooth_radius = 2;
+  /// Days with fewer generating samples than this fraction of the maximum
+  /// day are skipped (heavy overcast corrupts the signature).
+  double min_day_quality = 0.5;
+  /// Hemisphere hint for the latitude inversion.
+  bool northern_hemisphere = true;
+  /// Estimate the day length as 2 * max(noon - first, last - noon) instead
+  /// of (last - first). Use for apparent-generation signals recovered from
+  /// net meters, where evening consumption often truncates one shoulder.
+  bool asymmetric_day_length = false;
+};
+
+/// Per-day extracted signature (UTC minutes).
+struct DaySignature {
+  CivilDate date;
+  double first_gen_min = 0.0;   ///< first generating sample
+  double last_gen_min = 0.0;    ///< last generating sample
+  double noon_min = 0.0;        ///< energy-centroid of the day's generation
+  double day_length_min = 0.0;
+  double day_peak_kw = 0.0;     ///< peak of the smoothed day (cloud proxy)
+};
+
+struct SunSpotResult {
+  geo::LatLon estimate;
+  int days_used = 0;
+  std::vector<DaySignature> signatures;  ///< accepted days only
+};
+
+/// Runs the attack on a UTC-indexed generation trace covering whole days.
+/// Requires at least one day with usable generation.
+SunSpotResult sunspot_localize(const ts::TimeSeries& generation,
+                               const SunSpotOptions& options = {});
+
+}  // namespace pmiot::solar

@@ -1,0 +1,162 @@
+#include "solar/weatherman.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace pmiot::solar {
+
+WeathermanResult weatherman_localize(
+    const ts::TimeSeries& generation, const geo::LatLon& seed,
+    const std::vector<StationObservation>& stations,
+    const WeathermanOptions& options) {
+  PMIOT_CHECK(generation.meta().interval_seconds == 3600,
+              "weatherman expects hourly generation");
+  PMIOT_CHECK(!generation.empty(), "empty generation trace");
+  PMIOT_CHECK(!stations.empty(), "need weather stations");
+  PMIOT_CHECK(options.top_stations >= 1, "need at least one top station");
+  const std::size_t hours = generation.size();
+  for (const auto& st : stations) {
+    PMIOT_CHECK(st.hourly_cloud.size() >= hours,
+                "station does not cover the trace horizon");
+  }
+
+  // Clear-sky expectation shape at the seed location (only the *shape*
+  // matters; scale is calibrated from the data below).
+  std::vector<double> clear(hours, 0.0);
+  double clear_max = 0.0;
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double elev = geo::solar_elevation_rad(
+        seed, generation.date_at(h),
+        static_cast<double>(generation.minute_of_day_at(h)) + 30.0);
+    if (elev > 0.0) clear[h] = std::pow(std::sin(elev), 1.15);
+    clear_max = std::max(clear_max, clear[h]);
+  }
+  PMIOT_CHECK(clear_max > 0.0, "seed location never sees the sun");
+
+  // Usable hours: high enough sun to carry a weather signal.
+  std::vector<std::size_t> usable;
+  std::vector<double> ratios;
+  for (std::size_t h = 0; h < hours; ++h) {
+    if (clear[h] >= options.min_clear_fraction * clear_max) {
+      usable.push_back(h);
+      ratios.push_back(generation[h] / clear[h]);
+    }
+  }
+  PMIOT_CHECK(usable.size() >= 24, "too few usable daylight hours");
+
+  // Calibrate the clear-day scale, then compute the anomaly series: the
+  // fractional shortfall vs. clear-sky output, which tracks cloud cover.
+  const double scale = stats::quantile(ratios, options.scale_quantile);
+  PMIOT_CHECK(scale > 0.0, "degenerate generation scale");
+  std::vector<double> anomaly(usable.size());
+  for (std::size_t i = 0; i < usable.size(); ++i) {
+    anomaly[i] = std::clamp(1.0 - ratios[i] / scale, 0.0, 1.0);
+  }
+
+  WeathermanResult result;
+  result.station_correlations.resize(stations.size());
+  std::vector<double> station_series(usable.size());
+  double best = -2.0;
+  std::size_t best_idx = 0;
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    for (std::size_t i = 0; i < usable.size(); ++i) {
+      station_series[i] = stations[s].hourly_cloud[usable[i]];
+    }
+    const double corr = stats::pearson(anomaly, station_series);
+    result.station_correlations[s] = corr;
+    if (corr > best) {
+      best = corr;
+      best_idx = s;
+    }
+  }
+  result.best_correlation = best;
+  result.best_station = stations[best_idx].name;
+
+  // Blend the top-correlated stations: weights sharpen the correlation so
+  // the estimate interpolates between the best few stations.
+  std::vector<std::size_t> order(stations.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.station_correlations[a] > result.station_correlations[b];
+  });
+  const auto top = std::min<std::size_t>(
+      static_cast<std::size_t>(options.top_stations), order.size());
+  // Correlations differ by small margins near the peak; weight by the
+  // *excess* over the correlation floor just outside the blended set so the
+  // centroid interpolates between the best few stations only.
+  const double floor_corr =
+      top < order.size() ? result.station_correlations[order[top]]
+                         : result.station_correlations[order.back()] - 1e-3;
+  double wsum = 0.0, lat = 0.0, lon = 0.0;
+  for (std::size_t k = 0; k < top; ++k) {
+    const auto idx = order[k];
+    const double excess =
+        std::max(0.0, result.station_correlations[idx] - floor_corr);
+    const double w = std::pow(excess, 2.0);
+    wsum += w;
+    lat += w * stations[idx].location.lat;
+    lon += w * stations[idx].location.lon;
+  }
+  if (wsum > 0.0) {
+    result.estimate = geo::LatLon{lat / wsum, lon / wsum};
+  } else {
+    result.estimate = stations[best_idx].location;
+  }
+
+  // Continuous refinement: search a fine grid around the centroid for the
+  // point whose inverse-distance-weighted blend of nearby station clouds
+  // best matches the anomaly. This interpolates the correlation surface
+  // *between* stations and recovers precision below the station spacing.
+  if (options.refine_steps > 0) {
+    // Nearest stations to the coarse estimate participate in the blend.
+    std::vector<std::size_t> nearby(stations.size());
+    for (std::size_t i = 0; i < nearby.size(); ++i) nearby[i] = i;
+    std::sort(nearby.begin(), nearby.end(), [&](std::size_t a, std::size_t b) {
+      return geo::haversine_km(stations[a].location, result.estimate) <
+             geo::haversine_km(stations[b].location, result.estimate);
+    });
+    const auto blend = std::min<std::size_t>(12, nearby.size());
+
+    double best_corr = -2.0;
+    geo::LatLon best_point = result.estimate;
+    std::vector<double> blended(usable.size());
+    const int n = options.refine_steps;
+    for (int dy = -n; dy <= n; ++dy) {
+      for (int dx = -n; dx <= n; ++dx) {
+        const geo::LatLon cand{
+            result.estimate.lat + options.refine_span_deg * dy / n,
+            result.estimate.lon + options.refine_span_deg * dx / n};
+        // IDW weights over the nearby stations.
+        double wtotal = 0.0;
+        std::vector<double> w(blend, 0.0);
+        for (std::size_t k = 0; k < blend; ++k) {
+          const double d = std::max(
+              1.0, geo::haversine_km(stations[nearby[k]].location, cand));
+          w[k] = 1.0 / (d * d);
+          wtotal += w[k];
+        }
+        for (std::size_t i = 0; i < usable.size(); ++i) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < blend; ++k) {
+            acc += w[k] * stations[nearby[k]].hourly_cloud[usable[i]];
+          }
+          blended[i] = acc / wtotal;
+        }
+        const double corr = stats::pearson(anomaly, blended);
+        if (corr > best_corr) {
+          best_corr = corr;
+          best_point = cand;
+        }
+      }
+    }
+    if (best_corr > result.best_correlation - 0.05) {
+      result.estimate = best_point;
+    }
+  }
+  return result;
+}
+
+}  // namespace pmiot::solar

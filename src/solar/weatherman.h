@@ -1,0 +1,62 @@
+// Weatherman — weather-signature localization of solar sites
+// (Chen & Irwin, BigData'17; the paper's §II-B refinement of SunSpot).
+//
+// Each location's weather is close to unique over time. Weatherman computes
+// the site's generation *anomaly* — the shortfall between observed output
+// and the clear-sky expectation — and correlates it against cloud-cover
+// series from a dense grid of public weather stations. The site is where the
+// correlation peaks; interpolating the correlation surface across the top
+// stations localizes well below the station spacing, even on 1-hour data
+// (60x coarser than SunSpot needs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/solar_geometry.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::solar {
+
+/// A public weather observation the attacker can download: a known location
+/// and its hourly cloud-cover history over the trace horizon.
+struct StationObservation {
+  std::string name;
+  geo::LatLon location;
+  std::vector<double> hourly_cloud;  ///< [0,1] per hour
+};
+
+struct WeathermanOptions {
+  /// Hours are used only when the clear-sky expectation at the seed exceeds
+  /// this fraction of its maximum (low sun angles are noise-dominated).
+  double min_clear_fraction = 0.25;
+  /// Robust scale estimate: generation/clear-sky ratio quantile treated as
+  /// the clear-day calibration.
+  double scale_quantile = 0.98;
+  /// Number of top-correlated stations blended into the location estimate.
+  int top_stations = 6;
+  /// Softmax-style sharpening of correlation weights.
+  double weight_power = 12.0;
+  /// Continuous refinement grid: the (2n+1)^2 candidates around the coarse
+  /// centroid span +/- refine_span_deg degrees. 0 disables refinement.
+  int refine_steps = 12;
+  double refine_span_deg = 0.6;
+};
+
+struct WeathermanResult {
+  geo::LatLon estimate;
+  double best_correlation = 0.0;     ///< peak station correlation
+  std::string best_station;
+  std::vector<double> station_correlations;  ///< parallel to input stations
+};
+
+/// Runs the attack. `generation` must be hourly (3600 s interval), UTC,
+/// whole days; `seed` is a rough location estimate (e.g. from SunSpot) used
+/// only to compute the clear-sky expectation shape; `stations` must all
+/// cover the trace horizon.
+WeathermanResult weatherman_localize(
+    const ts::TimeSeries& generation, const geo::LatLon& seed,
+    const std::vector<StationObservation>& stations,
+    const WeathermanOptions& options = {});
+
+}  // namespace pmiot::solar

@@ -1,0 +1,342 @@
+#include "synth/appliance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/civil_time.h"
+#include "common/error.h"
+
+namespace pmiot::synth {
+namespace {
+
+/// Phase length draw for thermostatic cycling: mean with relative jitter,
+/// floored at one minute.
+int phase_minutes(double mean, double jitter, Rng& rng) {
+  const double draw = rng.normal(mean, jitter * mean);
+  return std::max(1, static_cast<int>(std::lround(draw)));
+}
+
+/// Simulates a thermostatic (cyclical) load across `minutes` samples.
+void simulate_cyclical(const ApplianceSpec& spec, std::vector<double>& out,
+                       Rng& rng) {
+  bool on = rng.bernoulli(spec.duty_on_min /
+                          (spec.duty_on_min + spec.duty_off_min));
+  std::size_t t = 0;
+  // Start mid-phase so homes don't all cycle in lockstep.
+  int remaining = std::max(
+      1, static_cast<int>(rng.uniform(1.0, on ? spec.duty_on_min
+                                              : spec.duty_off_min)));
+  bool fresh_start = false;
+  while (t < out.size()) {
+    if (on) {
+      double p = spec.steady_kw;
+      if (fresh_start) p += spec.startup_spike_kw;
+      out[t] += p;
+      fresh_start = false;
+    } else {
+      out[t] += spec.standby_kw;
+    }
+    ++t;
+    if (--remaining == 0) {
+      on = !on;
+      fresh_start = on;
+      remaining = phase_minutes(on ? spec.duty_on_min : spec.duty_off_min,
+                                spec.duty_jitter, rng);
+    }
+  }
+}
+
+/// Simulates occupant-triggered (or always-available background) runs.
+void simulate_interactive(const ApplianceSpec& spec,
+                          const std::vector<int>& occupancy,
+                          std::vector<double>& out, Rng& rng) {
+  std::size_t t = 0;
+  double wander = 0.0;  // smoothed noise state for non-linear loads
+  while (t < out.size()) {
+    const bool available = spec.background || occupancy[t] != 0;
+    const int hour = static_cast<int>((t % kMinutesPerDay) / 60);
+    const double rate = spec.hourly_rate[static_cast<std::size_t>(hour)];
+    if (available && rate > 0.0 && rng.bernoulli(rate / 60.0)) {
+      const int run = std::max(
+          1, static_cast<int>(std::lround(
+                 rng.uniform(spec.run_min_minutes, spec.run_max_minutes))));
+      for (int m = 0; m < run && t < out.size(); ++m, ++t) {
+        double p;
+        if (m == 0 || rng.uniform() < spec.intra_duty) {
+          // Runs begin in the full-power phase (heaters start hot,
+          // compressors start loaded), plus any inrush spike.
+          p = spec.steady_kw;
+        } else {
+          p = spec.low_kw;
+        }
+        if (m == 0) p += spec.startup_spike_kw;
+        if (spec.modulation > 0.0) {
+          wander = 0.8 * wander + 0.2 * rng.normal(0.0, 1.0);
+          p *= std::max(0.1, 1.0 + spec.modulation * wander);
+        }
+        out[t] += p;
+      }
+    } else {
+      out[t] += spec.standby_kw;
+      ++t;
+    }
+  }
+}
+
+std::array<double, 24> flat_rate(double per_hour) {
+  std::array<double, 24> r{};
+  r.fill(per_hour);
+  return r;
+}
+
+/// Waking-hours rate with morning and evening peaks; zero overnight.
+std::array<double, 24> domestic_rate(double morning, double day,
+                                     double evening) {
+  std::array<double, 24> r{};
+  for (int h = 6; h <= 8; ++h) r[static_cast<std::size_t>(h)] = morning;
+  for (int h = 9; h <= 16; ++h) r[static_cast<std::size_t>(h)] = day;
+  for (int h = 17; h <= 22; ++h) r[static_cast<std::size_t>(h)] = evening;
+  return r;
+}
+
+}  // namespace
+
+std::vector<double> simulate_appliance(const ApplianceSpec& spec,
+                                       const std::vector<int>& occupancy,
+                                       Rng& rng) {
+  PMIOT_CHECK(!occupancy.empty(), "occupancy horizon required");
+  PMIOT_CHECK(occupancy.size() % kMinutesPerDay == 0,
+              "occupancy must cover whole days");
+  PMIOT_CHECK(spec.steady_kw >= 0.0 && spec.standby_kw >= 0.0,
+              "power must be non-negative");
+  std::vector<double> out(occupancy.size(), 0.0);
+  if (spec.load_class == LoadClass::kCyclical) {
+    PMIOT_CHECK(spec.duty_on_min > 0.0 && spec.duty_off_min > 0.0,
+                "cyclical load needs duty phase lengths");
+    simulate_cyclical(spec, out, rng);
+  } else {
+    simulate_interactive(spec, occupancy, out, rng);
+  }
+  return out;
+}
+
+ApplianceSpec toaster() {
+  ApplianceSpec s;
+  s.name = "toaster";
+  s.load_class = LoadClass::kResistive;
+  s.steady_kw = 0.9;
+  s.run_min_minutes = 2;
+  s.run_max_minutes = 4;
+  s.hourly_rate = domestic_rate(0.5, 0.03, 0.08);
+  return s;
+}
+
+ApplianceSpec microwave() {
+  ApplianceSpec s;
+  s.name = "microwave";
+  s.load_class = LoadClass::kNonLinear;
+  s.steady_kw = 1.25;
+  s.standby_kw = 0.003;
+  s.run_min_minutes = 1;
+  s.run_max_minutes = 6;
+  s.hourly_rate = domestic_rate(0.25, 0.12, 0.45);
+  s.modulation = 0.05;
+  return s;
+}
+
+ApplianceSpec cooktop() {
+  ApplianceSpec s;
+  s.name = "cooktop";
+  s.load_class = LoadClass::kResistive;
+  s.steady_kw = 1.6;
+  s.low_kw = 0.4;
+  s.intra_duty = 0.6;  // burner thermostat cycling
+  s.run_min_minutes = 15;
+  s.run_max_minutes = 45;
+  std::array<double, 24> r{};
+  r[7] = 0.08;
+  r[12] = 0.10;
+  r[17] = 0.30;
+  r[18] = 0.35;
+  r[19] = 0.15;
+  s.hourly_rate = r;
+  return s;
+}
+
+ApplianceSpec dishwasher() {
+  ApplianceSpec s;
+  s.name = "dishwasher";
+  s.load_class = LoadClass::kResistive;
+  s.steady_kw = 1.3;
+  s.low_kw = 0.15;
+  s.intra_duty = 0.55;  // heater phases within the cycle
+  s.run_min_minutes = 55;
+  s.run_max_minutes = 90;
+  std::array<double, 24> r{};
+  r[19] = 0.10;
+  r[20] = 0.15;
+  r[21] = 0.08;
+  s.hourly_rate = r;
+  return s;
+}
+
+ApplianceSpec washer() {
+  ApplianceSpec s;
+  s.name = "washer";
+  s.load_class = LoadClass::kInductive;
+  s.steady_kw = 0.5;
+  s.startup_spike_kw = 0.6;
+  s.run_min_minutes = 30;
+  s.run_max_minutes = 45;
+  std::array<double, 24> r{};
+  r[9] = 0.06;
+  r[10] = 0.08;
+  r[18] = 0.06;
+  s.hourly_rate = r;
+  return s;
+}
+
+ApplianceSpec dryer() {
+  ApplianceSpec s;
+  s.name = "dryer";
+  s.load_class = LoadClass::kInductive;
+  s.steady_kw = 5.0;  // heater + drum
+  s.low_kw = 0.3;     // drum motor while the heater thermostat is open
+  s.intra_duty = 0.8;
+  s.startup_spike_kw = 0.8;
+  s.run_min_minutes = 45;
+  s.run_max_minutes = 70;
+  std::array<double, 24> r{};
+  r[10] = 0.05;
+  r[11] = 0.05;
+  r[19] = 0.06;
+  r[20] = 0.05;
+  s.hourly_rate = r;
+  return s;
+}
+
+ApplianceSpec fridge() {
+  ApplianceSpec s;
+  s.name = "fridge";
+  s.load_class = LoadClass::kCyclical;
+  s.steady_kw = 0.13;
+  s.startup_spike_kw = 0.35;  // compressor inrush, ~3x running draw
+  s.duty_on_min = 16;
+  s.duty_off_min = 30;
+  return s;
+}
+
+ApplianceSpec freezer() {
+  ApplianceSpec s;
+  s.name = "freezer";
+  s.load_class = LoadClass::kCyclical;
+  s.steady_kw = 0.10;
+  s.startup_spike_kw = 0.26;  // compressor inrush
+  s.duty_on_min = 12;
+  s.duty_off_min = 38;
+  return s;
+}
+
+ApplianceSpec hrv() {
+  ApplianceSpec s;
+  s.name = "hrv";
+  s.load_class = LoadClass::kCyclical;
+  s.steady_kw = 0.16;   // boost ventilation
+  s.standby_kw = 0.06;  // continuous low-speed fan
+  s.duty_on_min = 20;
+  s.duty_off_min = 40;
+  return s;
+}
+
+ApplianceSpec lights() {
+  ApplianceSpec s;
+  s.name = "lights";
+  s.load_class = LoadClass::kNonLinear;
+  s.steady_kw = 0.28;
+  s.run_min_minutes = 25;
+  s.run_max_minutes = 180;
+  std::array<double, 24> r{};
+  r[6] = 0.4;
+  r[7] = 0.3;
+  for (int h = 17; h <= 22; ++h) r[static_cast<std::size_t>(h)] = 0.5;
+  s.hourly_rate = r;
+  s.modulation = 0.2;  // rooms switching on/off within the run
+  return s;
+}
+
+ApplianceSpec tv() {
+  ApplianceSpec s;
+  s.name = "tv";
+  s.load_class = LoadClass::kNonLinear;
+  s.steady_kw = 0.18;
+  s.standby_kw = 0.01;
+  s.run_min_minutes = 45;
+  s.run_max_minutes = 200;
+  std::array<double, 24> r{};
+  for (int h = 9; h <= 16; ++h) r[static_cast<std::size_t>(h)] = 0.08;
+  for (int h = 18; h <= 22; ++h) r[static_cast<std::size_t>(h)] = 0.25;
+  s.hourly_rate = r;
+  s.modulation = 0.15;
+  return s;
+}
+
+ApplianceSpec computer() {
+  ApplianceSpec s;
+  s.name = "computer";
+  s.load_class = LoadClass::kNonLinear;
+  s.steady_kw = 0.12;
+  s.standby_kw = 0.015;
+  s.run_min_minutes = 30;
+  s.run_max_minutes = 240;
+  s.hourly_rate = domestic_rate(0.1, 0.1, 0.2);
+  s.modulation = 0.25;
+  return s;
+}
+
+ApplianceSpec water_heater() {
+  ApplianceSpec s;
+  s.name = "water_heater";
+  s.load_class = LoadClass::kResistive;
+  s.steady_kw = 4.5;
+  s.run_min_minutes = 8;
+  s.run_max_minutes = 25;
+  // Recovery heating follows showers/dishes: morning + evening.
+  std::array<double, 24> r{};
+  r[6] = 0.25;
+  r[7] = 0.35;
+  r[8] = 0.15;
+  r[19] = 0.2;
+  r[20] = 0.25;
+  r[21] = 0.15;
+  s.hourly_rate = r;
+  return s;
+}
+
+ApplianceSpec misc_plugs() {
+  ApplianceSpec s;
+  s.name = "misc_plugs";
+  s.load_class = LoadClass::kNonLinear;
+  s.steady_kw = 0.22;
+  s.run_min_minutes = 4;
+  s.run_max_minutes = 20;
+  // Whenever occupants are awake they intermittently use small plug loads:
+  // kettles, vacuums, hair dryers, chargers, power tools.
+  std::array<double, 24> r{};
+  for (int h = 7; h <= 22; ++h) r[static_cast<std::size_t>(h)] = 1.0;
+  s.hourly_rate = r;
+  s.modulation = 0.35;
+  return s;
+}
+
+ApplianceSpec phantom_base() {
+  ApplianceSpec s;
+  s.name = "phantom";
+  s.load_class = LoadClass::kNonLinear;
+  s.steady_kw = 0.0;
+  s.standby_kw = 0.065;  // routers, clocks, chargers, smart devices
+  s.background = true;
+  s.hourly_rate = flat_rate(0.0);
+  return s;
+}
+
+}  // namespace pmiot::synth

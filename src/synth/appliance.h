@@ -1,0 +1,92 @@
+// Physically-motivated appliance load models.
+//
+// Following the paper's PowerPlay discussion (and Barker et al., IGCC'13),
+// every household load belongs to one of four electrical classes, each with
+// a characteristic power-vs-time profile:
+//   * resistive  — flat draw while on (toaster, kettle, baseboard heat)
+//   * inductive  — motor startup spike then steady draw (compressors, pumps)
+//   * non-linear — electronically controlled, wandering draw (TV, computer)
+//   * cyclical   — thermostatic duty cycles independent of occupancy
+//                  (fridge, freezer, HRV)
+// Interactive appliances are triggered by occupants with a time-of-day usage
+// profile; background appliances run regardless of occupancy — exactly the
+// distinction NIOM exploits.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmiot::synth {
+
+enum class LoadClass { kResistive, kInductive, kNonLinear, kCyclical };
+
+/// Parameterized model of one appliance. Constructed via the catalog
+/// factories below or customized directly (plain data, no invariants beyond
+/// what `simulate_appliance` checks).
+struct ApplianceSpec {
+  std::string name;
+  LoadClass load_class = LoadClass::kResistive;
+
+  double steady_kw = 1.0;    ///< draw while actively on
+  double standby_kw = 0.0;   ///< draw while idle (phantom load)
+  double low_kw = 0.0;       ///< draw during intra-run duty-off phase
+
+  /// Inductive startup: extra kW added for the first on-minute.
+  double startup_spike_kw = 0.0;
+
+  /// True for loads that operate regardless of occupancy.
+  bool background = false;
+
+  /// Cyclical (thermostatic) operation: mean on/off phase lengths, with
+  /// relative jitter. Used when load_class == kCyclical.
+  double duty_on_min = 0.0;
+  double duty_off_min = 0.0;
+  double duty_jitter = 0.15;
+
+  /// Interactive runs: uniform run length in [run_min, run_max] minutes,
+  /// started by occupants per `hourly_rate` (expected activations/hour,
+  /// indexed by local hour, applied only while the home is occupied).
+  double run_min_minutes = 2.0;
+  double run_max_minutes = 10.0;
+  std::array<double, 24> hourly_rate{};
+
+  /// Fraction of run minutes at steady_kw; the rest at low_kw (e.g. a dryer
+  /// heater cycling while the drum motor keeps spinning).
+  double intra_duty = 1.0;
+
+  /// Non-linear wander: draw is steady_kw * (1 ± modulation * smooth noise).
+  double modulation = 0.0;
+};
+
+/// Simulates one appliance at 1-minute resolution over the span of
+/// `occupancy` (per-minute 0/1 labels; length defines the horizon, must be a
+/// whole number of days). Returns per-minute kW.
+std::vector<double> simulate_appliance(const ApplianceSpec& spec,
+                                       const std::vector<int>& occupancy,
+                                       Rng& rng);
+
+// --- Catalog -------------------------------------------------------------
+// Typical US-household parameters; magnitudes follow the traces shown in the
+// paper's figures (e.g. Fig 1 homes peak at 3–6 kW; the dryer dominates
+// Fig 2 at ~5 kW while fridge/freezer/HRV sit near 0.1 kW).
+
+ApplianceSpec toaster();
+ApplianceSpec microwave();
+ApplianceSpec cooktop();
+ApplianceSpec dishwasher();
+ApplianceSpec washer();
+ApplianceSpec dryer();
+ApplianceSpec fridge();
+ApplianceSpec freezer();
+ApplianceSpec hrv();  ///< heat-recovery ventilator
+ApplianceSpec lights();
+ApplianceSpec tv();
+ApplianceSpec computer();
+ApplianceSpec water_heater();  ///< uncontrolled electric tank heater
+ApplianceSpec phantom_base();  ///< always-on standby aggregation
+ApplianceSpec misc_plugs();    ///< kettle/vacuum/chargers — occupant activity
+
+}  // namespace pmiot::synth

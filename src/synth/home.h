@@ -1,0 +1,63 @@
+// Whole-home simulation: occupancy + appliance fleet -> labelled traces.
+//
+// Produces exactly what the paper's datasets contained (but with full ground
+// truth): the aggregate smart-meter signal, per-appliance submetered traces
+// (the NILM evaluation's reference), and per-minute occupancy labels (the
+// NIOM evaluation's reference).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/appliance.h"
+#include "synth/occupancy.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::synth {
+
+/// Configuration of a simulated home.
+struct HomeConfig {
+  std::string name = "home";
+  OccupancyProfile occupancy;
+  std::vector<ApplianceSpec> appliances;
+  double meter_noise_kw = 0.008;  ///< measurement noise stddev on the meter
+};
+
+/// Output of one simulation run. All series are 1-minute resolution and
+/// cover the same horizon; `occupancy` is per-minute 0/1.
+struct HomeTrace {
+  std::string name;
+  ts::TimeSeries aggregate;                  ///< metered total (kW)
+  std::vector<std::string> appliance_names;  ///< parallel to per_appliance
+  std::vector<ts::TimeSeries> per_appliance; ///< submetered ground truth (kW)
+  std::vector<int> occupancy;                ///< per-minute ground truth
+
+  /// Index of an appliance by name; throws InvalidArgument if absent.
+  std::size_t appliance_index(const std::string& name) const;
+};
+
+/// Simulates `days` civil days starting at `start`. Deterministic in `rng`.
+HomeTrace simulate_home(const HomeConfig& config, const CivilDate& start,
+                        int days, Rng& rng);
+
+// --- Preset homes used by the benches ------------------------------------
+
+/// Figure 1 Home-A: small home, low base load, strongly bursty when
+/// occupied (peaks ~3 kW).
+HomeConfig home_a();
+
+/// Figure 1 Home-B: larger home with electric water heater and dryer
+/// (peaks ~5-6 kW), higher background load.
+HomeConfig home_b();
+
+/// Figure 2 home: contains exactly the five tracked devices (toaster,
+/// fridge, freezer, dryer, HRV) plus untracked interactive loads that act
+/// as real-world noise for the disaggregators.
+HomeConfig fig2_home();
+
+/// A small population of varied homes for the NIOM accuracy sweep
+/// (§II-A's "70-90% for a range of homes"). `count >= 1`.
+std::vector<HomeConfig> home_population(int count);
+
+}  // namespace pmiot::synth

@@ -1,0 +1,95 @@
+#include "synth/occupancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace pmiot::synth {
+namespace {
+
+/// Marks [from, to) minutes of `day_view` (clamped to the day) as away.
+void mark_away(std::vector<int>& occupancy, std::size_t day_first, double from,
+               double to) {
+  const auto lo = static_cast<std::size_t>(
+      std::clamp(from, 0.0, static_cast<double>(kMinutesPerDay)));
+  const auto hi = static_cast<std::size_t>(
+      std::clamp(to, 0.0, static_cast<double>(kMinutesPerDay)));
+  for (std::size_t m = lo; m < hi; ++m) occupancy[day_first + m] = 0;
+}
+
+}  // namespace
+
+std::vector<int> simulate_occupancy(const OccupancyProfile& profile,
+                                    const CivilDate& start, int days,
+                                    Rng& rng) {
+  PMIOT_CHECK(is_valid(start), "invalid start date");
+  PMIOT_CHECK(days > 0, "days must be positive");
+  std::vector<int> occupancy(
+      static_cast<std::size_t>(days) * kMinutesPerDay, 1);
+
+  int vacation_days_left = 0;
+  for (int d = 0; d < days; ++d) {
+    const auto day_first = static_cast<std::size_t>(d) * kMinutesPerDay;
+    const CivilDate date = add_days(start, d);
+
+    if (vacation_days_left > 0) {
+      mark_away(occupancy, day_first, 0, kMinutesPerDay);
+      --vacation_days_left;
+      continue;
+    }
+    if (rng.bernoulli(profile.vacation_probability)) {
+      vacation_days_left = static_cast<int>(rng.uniform_int(2, 7));
+      mark_away(occupancy, day_first, 0, kMinutesPerDay);
+      --vacation_days_left;
+      continue;
+    }
+
+    const bool workday = profile.employed && !is_weekend(date) &&
+                         !rng.bernoulli(profile.wfh_probability);
+    if (workday) {
+      const double leave =
+          rng.normal(profile.weekday_leave_min, profile.leave_jitter_min);
+      const double ret =
+          rng.normal(profile.weekday_return_min, profile.return_jitter_min);
+      if (ret > leave) mark_away(occupancy, day_first, leave, ret);
+    } else {
+      // Errands: short daytime absences.
+      const int errands = rng.poisson(profile.weekend_errands_mean);
+      for (int e = 0; e < errands; ++e) {
+        const double at = rng.uniform(9 * 60.0, 19 * 60.0);
+        const double len = rng.uniform(45.0, 180.0);
+        mark_away(occupancy, day_first, at, at + len);
+      }
+    }
+    if (rng.bernoulli(profile.evening_out_probability)) {
+      const double at = rng.uniform(18 * 60.0, 20.5 * 60.0);
+      const double len = rng.uniform(30.0, 120.0);
+      mark_away(occupancy, day_first, at, at + len);
+    }
+  }
+  return occupancy;
+}
+
+double occupied_fraction(const std::vector<int>& occupancy) {
+  PMIOT_CHECK(!occupancy.empty(), "empty occupancy");
+  std::size_t ones = 0;
+  for (int v : occupancy) ones += v != 0 ? 1 : 0;
+  return static_cast<double>(ones) / static_cast<double>(occupancy.size());
+}
+
+std::vector<int> downsample_occupancy(const std::vector<int>& occupancy,
+                                      int factor) {
+  PMIOT_CHECK(factor > 0, "factor must be positive");
+  const auto f = static_cast<std::size_t>(factor);
+  std::vector<int> out;
+  out.reserve(occupancy.size() / f);
+  for (std::size_t i = 0; i + f <= occupancy.size(); i += f) {
+    std::size_t ones = 0;
+    for (std::size_t j = 0; j < f; ++j) ones += occupancy[i + j] != 0 ? 1 : 0;
+    out.push_back(2 * ones >= f ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace pmiot::synth

@@ -1,0 +1,44 @@
+// Synthetic household occupancy schedules.
+//
+// Ground-truth occupancy is the label NIOM attacks try to recover and real
+// datasets rarely publish; the simulator generates realistic daily rhythms:
+// weekday commutes with per-household departure/return habits, weekend
+// errands, evening outings, occasional work-from-home days and multi-day
+// vacations. Output is a per-minute 0/1 vector (1 = at least one occupant
+// home), matching the paper's Figure 1 annotation.
+#pragma once
+
+#include <vector>
+
+#include "common/civil_time.h"
+#include "common/rng.h"
+
+namespace pmiot::synth {
+
+/// Per-household occupancy habits. Defaults model a working couple.
+struct OccupancyProfile {
+  bool employed = true;            ///< weekday commute pattern
+  double weekday_leave_min = 460;  ///< mean departure (minutes, ~7:40)
+  double weekday_return_min = 1040;///< mean return (minutes, ~17:20)
+  double leave_jitter_min = 40;    ///< stddev of departure/return
+  double return_jitter_min = 60;
+  double wfh_probability = 0.12;   ///< weekday spent home
+  double evening_out_probability = 0.25;  ///< evening outing 30–120 min
+  double weekend_errands_mean = 1.6;      ///< Poisson count per weekend day
+  double vacation_probability = 0.01;     ///< per-day chance a 2–7 day trip starts
+};
+
+/// Per-minute occupancy for `days` civil days starting at `start`.
+/// Deterministic given `rng` state.
+std::vector<int> simulate_occupancy(const OccupancyProfile& profile,
+                                    const CivilDate& start, int days, Rng& rng);
+
+/// Fraction of minutes occupied (convenience for tests/reports).
+double occupied_fraction(const std::vector<int>& occupancy);
+
+/// Downsamples per-minute occupancy to a coarser interval by majority vote.
+/// `factor` minutes per output sample; trailing partial buckets dropped.
+std::vector<int> downsample_occupancy(const std::vector<int>& occupancy,
+                                      int factor);
+
+}  // namespace pmiot::synth

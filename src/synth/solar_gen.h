@@ -1,0 +1,47 @@
+// Rooftop solar generation model.
+//
+// Generation at a site is driven by solar geometry (the SunSpot signature:
+// sunrise, solar noon, sunset are functions of lat/lon/date) attenuated by
+// local cloud cover (the Weatherman signature) plus inverter/sensor noise.
+// Traces are indexed in UTC so the localization attacks can reason about
+// absolute time, mirroring timestamped data from real monitoring APIs.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "geo/solar_geometry.h"
+#include "synth/weather.h"
+#include "timeseries/timeseries.h"
+
+namespace pmiot::synth {
+
+/// One monitored PV installation.
+struct SolarSite {
+  std::string name;
+  geo::LatLon location;
+  double capacity_kw = 5.0;      ///< nameplate AC capacity
+  double derate = 0.85;          ///< wiring/inverter losses
+  double tilt_gain = 1.0;        ///< crude panel-orientation factor
+  double sensor_noise_kw = 0.01; ///< reporting noise stddev
+};
+
+/// Physics knobs shared by a simulation run.
+struct SolarModelOptions {
+  double cloud_attenuation = 0.82;  ///< fraction of output lost at cloud=1
+  double air_mass_exponent = 1.15;  ///< shape of the elevation response
+};
+
+/// Simulates generation for `days` starting at UTC midnight of `start`, at
+/// `interval_seconds` resolution (must divide a day). Values are kW >= 0.
+/// The weather field must cover the horizon.
+ts::TimeSeries simulate_solar(const SolarSite& site, const WeatherField& weather,
+                              const CivilDate& start, int days, Rng& rng,
+                              int interval_seconds = 60,
+                              const SolarModelOptions& options = {});
+
+/// Ten reference sites spread across distinct US states' latitudes and
+/// longitudes — the Figure 5 evaluation population.
+std::vector<SolarSite> fig5_sites();
+
+}  // namespace pmiot::synth

@@ -1,0 +1,165 @@
+#include "synth/weather.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace pmiot::synth {
+namespace {
+
+/// Deterministic per-(location, hour) noise: hash quantized coordinates and
+/// the hour through SplitMix, map to ~N(0,1) via Box-Muller.
+double local_noise(const geo::LatLon& where, std::size_t hour,
+                   std::uint64_t seed) {
+  const auto qlat = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::llround(where.lat * 1e4)) + (1LL << 40));
+  const auto qlon = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::llround(where.lon * 1e4)) + (1LL << 40));
+  std::uint64_t x = seed ^ (qlat * 0x9e3779b97f4a7c15ULL) ^
+                    (qlon * 0xbf58476d1ce4e5b9ULL) ^
+                    (static_cast<std::uint64_t>(hour) * 0x94d049bb133111ebULL);
+  auto mix = [&x]() {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const double u1 = (static_cast<double>(mix() >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = static_cast<double>(mix() >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+WeatherField::WeatherField(const WeatherOptions& options, CivilDate start,
+                           int days, std::uint64_t seed)
+    : options_(options), start_(start), days_(days), seed_(seed) {
+  PMIOT_CHECK(is_valid(start), "invalid start date");
+  PMIOT_CHECK(days > 0, "days must be positive");
+  PMIOT_CHECK(options.synoptic_anchors >= 1 && options.mesoscale_anchors >= 1,
+              "need at least one anchor per scale");
+  PMIOT_CHECK(options.synoptic_kernel_km > 0.0 &&
+                  options.mesoscale_kernel_km > 0.0,
+              "kernel scales must be positive");
+  PMIOT_CHECK(options.lat_max > options.lat_min &&
+                  options.lon_max > options.lon_min,
+              "degenerate region");
+
+  Rng rng(seed);
+  const auto n_hours = hours();
+  auto build = [&](AnchorSet& set, int count, double kernel_km, double weight,
+                   double phi) {
+    set.kernel_km = kernel_km;
+    set.weight = weight;
+    set.locations.reserve(static_cast<std::size_t>(count));
+    set.series.reserve(static_cast<std::size_t>(count));
+    const double innovation = std::sqrt(1.0 - phi * phi);
+    for (int a = 0; a < count; ++a) {
+      set.locations.push_back(
+          geo::LatLon{rng.uniform(options.lat_min, options.lat_max),
+                      rng.uniform(options.lon_min, options.lon_max)});
+      std::vector<double> series(n_hours);
+      double x = rng.normal();
+      for (std::size_t h = 0; h < n_hours; ++h) {
+        series[h] = x;
+        x = phi * x + innovation * rng.normal();
+      }
+      set.series.push_back(std::move(series));
+    }
+  };
+  // Synoptic systems persist for days; convective cells for hours.
+  build(synoptic_, options.synoptic_anchors, options.synoptic_kernel_km,
+        options.synoptic_weight, 0.97);
+  build(mesoscale_, options.mesoscale_anchors, options.mesoscale_kernel_km,
+        options.mesoscale_weight, 0.85);
+}
+
+void WeatherField::accumulate(const AnchorSet& set, const geo::LatLon& where,
+                              std::vector<double>& latent) const {
+  // Kernel weights for this location, computed once for the whole series.
+  double wsum = 0.0;
+  std::vector<double> weights(set.locations.size(), 0.0);
+  for (std::size_t a = 0; a < set.locations.size(); ++a) {
+    const double d = geo::haversine_km(where, set.locations[a]);
+    const double z = d / set.kernel_km;
+    if (z > 4.0) continue;  // negligible beyond 4 kernel lengths
+    weights[a] = std::exp(-0.5 * z * z);
+    wsum += weights[a];
+  }
+  if (wsum <= 0.0) {
+    // Isolated location: fall back to the nearest anchor so the field stays
+    // defined everywhere.
+    std::size_t nearest = 0;
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t a = 0; a < set.locations.size(); ++a) {
+      const double d = geo::haversine_km(where, set.locations[a]);
+      if (d < best) {
+        best = d;
+        nearest = a;
+      }
+    }
+    weights[nearest] = 1.0;
+    wsum = 1.0;
+  }
+  for (std::size_t a = 0; a < weights.size(); ++a) {
+    if (weights[a] <= 0.0) continue;
+    const double w = set.weight * weights[a] / wsum;
+    const auto& series = set.series[a];
+    for (std::size_t h = 0; h < latent.size(); ++h) {
+      latent[h] += w * series[h];
+    }
+  }
+}
+
+std::vector<double> WeatherField::cloud_series(
+    const geo::LatLon& where) const {
+  std::vector<double> latent(hours(), 0.0);
+  accumulate(synoptic_, where, latent);
+  accumulate(mesoscale_, where, latent);
+  std::vector<double> out(hours());
+  for (std::size_t h = 0; h < out.size(); ++h) {
+    const double z =
+        (latent[h] + options_.local_noise * local_noise(where, h, seed_)) *
+        1.8;
+    const double cloud =
+        options_.mean_cloud + (1.0 / (1.0 + std::exp(-z)) - 0.5);
+    out[h] = std::clamp(cloud, 0.0, 1.0);
+  }
+  return out;
+}
+
+double WeatherField::cloud_at(const geo::LatLon& where,
+                              std::size_t hour) const {
+  PMIOT_CHECK(hour < hours(), "hour out of horizon");
+  return cloud_series(where)[hour];
+}
+
+std::vector<WeatherStation> make_station_grid(const WeatherOptions& options,
+                                              int rows, int cols) {
+  PMIOT_CHECK(rows >= 1 && cols >= 1, "grid must be non-empty");
+  std::vector<WeatherStation> stations;
+  stations.reserve(static_cast<std::size_t>(rows) *
+                   static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double frac_lat =
+          rows == 1 ? 0.5 : static_cast<double>(r) / (rows - 1);
+      const double frac_lon =
+          cols == 1 ? 0.5 : static_cast<double>(c) / (cols - 1);
+      WeatherStation s;
+      s.name = "station-" + std::to_string(r) + "-" + std::to_string(c);
+      s.location.lat =
+          options.lat_min + frac_lat * (options.lat_max - options.lat_min);
+      s.location.lon =
+          options.lon_min + frac_lon * (options.lon_max - options.lon_min);
+      stations.push_back(std::move(s));
+    }
+  }
+  return stations;
+}
+
+}  // namespace pmiot::synth

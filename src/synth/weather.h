@@ -1,0 +1,91 @@
+// Spatially correlated synthetic weather (cloud cover) fields.
+//
+// The Weatherman attack localizes a solar site by correlating its generation
+// against weather observed at known stations; all it needs from weather is
+// that *nearby locations see similar clouds and distant ones don't*, with
+// enough fine-grained structure that the similarity keeps decaying at small
+// distances. The field mixes two scales of latent AR(1) "storm system"
+// processes anchored at random points — synoptic systems (hundreds of km)
+// and mesoscale convection (tens of km) — plus deterministic site-local
+// noise. Cloudiness anywhere is a distance-kernel-weighted mixture, giving
+// correlation that decays smoothly from metres to continental scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/civil_time.h"
+#include "geo/solar_geometry.h"
+
+namespace pmiot::synth {
+
+/// Rectangular region and field parameters.
+struct WeatherOptions {
+  double lat_min = 29.0;
+  double lat_max = 48.5;
+  double lon_min = -124.0;
+  double lon_max = -70.0;
+  int synoptic_anchors = 16;        ///< large storm systems
+  double synoptic_kernel_km = 450.0;
+  double synoptic_weight = 0.6;
+  int mesoscale_anchors = 500;      ///< local convection cells
+  double mesoscale_kernel_km = 70.0;
+  double mesoscale_weight = 0.45;
+  double local_noise = 0.05;  ///< stddev of site-local cloud deviation
+  double mean_cloud = 0.35;   ///< long-run average cloudiness
+};
+
+/// Hourly cloud-cover field over a region and horizon. Immutable after
+/// construction; queries at any location are deterministic.
+class WeatherField {
+ public:
+  /// Builds the latent processes for `days` * 24 hourly steps.
+  WeatherField(const WeatherOptions& options, CivilDate start, int days,
+               std::uint64_t seed);
+
+  CivilDate start() const noexcept { return start_; }
+  int days() const noexcept { return days_; }
+  std::size_t hours() const noexcept {
+    return static_cast<std::size_t>(days_) * 24;
+  }
+
+  /// Full hourly cloud series in [0,1] at a location (length hours()).
+  /// Anchor weights are computed once per call, so prefer this over
+  /// repeated cloud_at queries for the same location.
+  std::vector<double> cloud_series(const geo::LatLon& where) const;
+
+  /// Cloud cover at one (location, hour); convenience for spot checks.
+  double cloud_at(const geo::LatLon& where, std::size_t hour) const;
+
+ private:
+  WeatherOptions options_;
+  CivilDate start_;
+  int days_;
+  std::uint64_t seed_;
+  struct AnchorSet {
+    std::vector<geo::LatLon> locations;
+    std::vector<std::vector<double>> series;  // [anchor][hour], ~N(0,1)
+    double kernel_km = 1.0;
+    double weight = 1.0;
+  };
+  AnchorSet synoptic_;
+  AnchorSet mesoscale_;
+
+  /// Kernel-weighted latent value of one anchor set at a location/hour set.
+  void accumulate(const AnchorSet& set, const geo::LatLon& where,
+                  std::vector<double>& latent) const;
+};
+
+/// A named weather station: a known location whose hourly cloud series the
+/// attacker can look up "publicly".
+struct WeatherStation {
+  std::string name;
+  geo::LatLon location;
+};
+
+/// Evenly spread stations across the field's region (grid order).
+std::vector<WeatherStation> make_station_grid(const WeatherOptions& options,
+                                              int rows, int cols);
+
+}  // namespace pmiot::synth

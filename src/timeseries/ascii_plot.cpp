@@ -1,0 +1,72 @@
+#include "timeseries/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace pmiot::ts {
+
+std::string ascii_plot(std::span<const double> xs, const PlotOptions& options) {
+  PMIOT_CHECK(options.width > 0 && options.height > 0,
+              "plot dimensions must be positive");
+  if (xs.empty()) return "(empty series)\n";
+
+  const auto width = static_cast<std::size_t>(options.width);
+  std::vector<double> cols(width, 0.0);
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t lo = c * xs.size() / width;
+    std::size_t hi = (c + 1) * xs.size() / width;
+    hi = std::max(hi, lo + 1);
+    double m = xs[lo];
+    for (std::size_t i = lo; i < hi && i < xs.size(); ++i)
+      m = std::max(m, xs[i]);
+    cols[c] = m;
+  }
+
+  double y_min = options.y_min;
+  double y_max = options.y_max;
+  if (y_max < y_min) {
+    y_max = *std::max_element(cols.begin(), cols.end());
+    if (y_max <= y_min) y_max = y_min + 1.0;
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << '\n';
+  for (int r = options.height - 1; r >= 0; --r) {
+    const double level =
+        y_min + (y_max - y_min) * (r + 0.5) / options.height;
+    os << format_double(y_min + (y_max - y_min) * (r + 1.0) / options.height, 1)
+       << '\t' << '|';
+    for (std::size_t c = 0; c < width; ++c) {
+      os << (cols[c] >= level ? '#' : ' ');
+    }
+    os << '\n';
+  }
+  os << '\t' << '+' << std::string(width, '-') << '\n';
+  return os.str();
+}
+
+std::string ascii_binary_strip(std::span<const int> labels, int width) {
+  PMIOT_CHECK(width > 0, "strip width must be positive");
+  if (labels.empty()) return "(empty labels)";
+  const auto w = static_cast<std::size_t>(width);
+  std::string out(w, '.');
+  for (std::size_t c = 0; c < w; ++c) {
+    const std::size_t lo = c * labels.size() / w;
+    std::size_t hi = (c + 1) * labels.size() / w;
+    hi = std::max(hi, lo + 1);
+    std::size_t ones = 0, n = 0;
+    for (std::size_t i = lo; i < hi && i < labels.size(); ++i) {
+      ones += labels[i] != 0 ? 1 : 0;
+      ++n;
+    }
+    if (2 * ones >= n) out[c] = '#';
+  }
+  return out;
+}
+
+}  // namespace pmiot::ts

@@ -1,0 +1,28 @@
+// Terminal rendering of traces, used by the figure-reproduction benches to
+// show the same visual story as the paper's plots (e.g. Figure 1's power /
+// occupancy overlay and Figure 6's before/after CHPr traces).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace pmiot::ts {
+
+/// Options for `ascii_plot`.
+struct PlotOptions {
+  int width = 96;          ///< columns of the plotting area
+  int height = 12;         ///< rows of the plotting area
+  double y_min = 0.0;      ///< lower bound of the y axis
+  double y_max = -1.0;     ///< upper bound; < y_min means auto-scale
+  std::string y_label;     ///< printed above the plot
+};
+
+/// Renders `xs` as a column chart. Each output column aggregates (max) the
+/// samples that fall into it, so short spikes stay visible.
+std::string ascii_plot(std::span<const double> xs, const PlotOptions& options);
+
+/// Renders a binary 0/1 series as a one-line occupancy strip ('#' occupied,
+/// '.' vacant), downsampled by majority to `width` columns.
+std::string ascii_binary_strip(std::span<const int> labels, int width);
+
+}  // namespace pmiot::ts

@@ -1,0 +1,176 @@
+#include "timeseries/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace pmiot::ts {
+namespace {
+
+void validate_meta(const TraceMeta& meta) {
+  PMIOT_CHECK(is_valid(meta.start_date), "invalid start date");
+  PMIOT_CHECK(meta.start_minute >= 0 && meta.start_minute < kMinutesPerDay,
+              "start minute out of range");
+  PMIOT_CHECK(meta.interval_seconds > 0, "interval must be positive");
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(TraceMeta meta) : meta_(meta) { validate_meta(meta_); }
+
+TimeSeries::TimeSeries(TraceMeta meta, std::vector<double> values)
+    : meta_(meta), values_(std::move(values)) {
+  validate_meta(meta_);
+}
+
+std::size_t TimeSeries::samples_per_day() const {
+  PMIOT_CHECK(kSecondsPerDay % meta_.interval_seconds == 0,
+              "interval does not divide a day");
+  return static_cast<std::size_t>(kSecondsPerDay / meta_.interval_seconds);
+}
+
+long TimeSeries::seconds_at(std::size_t i) const noexcept {
+  return static_cast<long>(i) * meta_.interval_seconds;
+}
+
+CivilDate TimeSeries::date_at(std::size_t i) const {
+  const long total_seconds =
+      static_cast<long>(meta_.start_minute) * 60 + seconds_at(i);
+  return add_days(meta_.start_date, total_seconds / kSecondsPerDay);
+}
+
+int TimeSeries::minute_of_day_at(std::size_t i) const {
+  const long total_seconds =
+      static_cast<long>(meta_.start_minute) * 60 + seconds_at(i);
+  return static_cast<int>((total_seconds % kSecondsPerDay) / 60);
+}
+
+TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
+  PMIOT_CHECK(first + count <= values_.size(), "slice out of range");
+  TraceMeta meta = meta_;
+  const long total_seconds =
+      static_cast<long>(meta_.start_minute) * 60 + seconds_at(first);
+  meta.start_date = add_days(meta_.start_date, total_seconds / kSecondsPerDay);
+  meta.start_minute = static_cast<int>((total_seconds % kSecondsPerDay) / 60);
+  return TimeSeries(
+      meta, std::vector<double>(values_.begin() + static_cast<long>(first),
+                                values_.begin() + static_cast<long>(first + count)));
+}
+
+TimeSeries TimeSeries::resample(int new_interval_seconds) const {
+  PMIOT_CHECK(new_interval_seconds > 0, "interval must be positive");
+  PMIOT_CHECK(new_interval_seconds % meta_.interval_seconds == 0,
+              "new interval must be a multiple of the current one");
+  const auto factor =
+      static_cast<std::size_t>(new_interval_seconds / meta_.interval_seconds);
+  TraceMeta meta = meta_;
+  meta.interval_seconds = new_interval_seconds;
+  std::vector<double> out;
+  out.reserve(values_.size() / factor);
+  for (std::size_t i = 0; i + factor <= values_.size(); i += factor) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < factor; ++j) s += values_[i + j];
+    out.push_back(s / static_cast<double>(factor));
+  }
+  return TimeSeries(meta, std::move(out));
+}
+
+TimeSeries& TimeSeries::operator+=(const TimeSeries& other) {
+  PMIOT_CHECK(meta_ == other.meta_, "meta mismatch");
+  PMIOT_CHECK(values_.size() == other.values_.size(), "size mismatch");
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+  return *this;
+}
+
+TimeSeries& TimeSeries::operator-=(const TimeSeries& other) {
+  PMIOT_CHECK(meta_ == other.meta_, "meta mismatch");
+  PMIOT_CHECK(values_.size() == other.values_.size(), "size mismatch");
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] -= other.values_[i];
+  return *this;
+}
+
+TimeSeries& TimeSeries::scale(double factor) noexcept {
+  for (auto& v : values_) v *= factor;
+  return *this;
+}
+
+TimeSeries& TimeSeries::clamp_min(double lo) noexcept {
+  for (auto& v : values_) v = std::max(v, lo);
+  return *this;
+}
+
+double TimeSeries::energy_kwh() const noexcept {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s * meta_.interval_seconds / 3600.0;
+}
+
+TimeSeries make_zero_days(const TraceMeta& meta, int days) {
+  PMIOT_CHECK(days >= 0, "negative day count");
+  PMIOT_CHECK(kSecondsPerDay % meta.interval_seconds == 0,
+              "interval does not divide a day");
+  const auto per_day =
+      static_cast<std::size_t>(kSecondsPerDay / meta.interval_seconds);
+  return TimeSeries(meta,
+                    std::vector<double>(per_day * static_cast<std::size_t>(days),
+                                        0.0));
+}
+
+std::vector<WindowStat> window_stats(std::span<const double> xs,
+                                     std::size_t window, std::size_t stride) {
+  PMIOT_CHECK(window > 0, "window must be positive");
+  PMIOT_CHECK(stride > 0, "stride must be positive");
+  std::vector<WindowStat> out;
+  if (xs.size() < window) return out;
+  for (std::size_t first = 0; first + window <= xs.size(); first += stride) {
+    const auto span = xs.subspan(first, window);
+    WindowStat w;
+    w.first = first;
+    w.mean = stats::mean(span);
+    w.variance = stats::variance(span);
+    w.min = stats::min(span);
+    w.max = stats::max(span);
+    w.range = w.max - w.min;
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t radius) {
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= radius ? i - radius : 0;
+    const std::size_t hi = std::min(xs.size() - 1, i + radius);
+    double s = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) s += xs[j];
+    out[i] = s / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> median_filter(std::span<const double> xs,
+                                  std::size_t radius) {
+  std::vector<double> out(xs.size());
+  std::vector<double> buf;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= radius ? i - radius : 0;
+    const std::size_t hi = std::min(xs.size() == 0 ? 0 : xs.size() - 1, i + radius);
+    buf.assign(xs.begin() + static_cast<long>(lo),
+               xs.begin() + static_cast<long>(hi) + 1);
+    std::nth_element(buf.begin(), buf.begin() + static_cast<long>(buf.size() / 2),
+                     buf.end());
+    double m = buf[buf.size() / 2];
+    if (buf.size() % 2 == 0) {
+      const double lower =
+          *std::max_element(buf.begin(), buf.begin() + static_cast<long>(buf.size() / 2));
+      m = 0.5 * (m + lower);
+    }
+    out[i] = m;
+  }
+  return out;
+}
+
+}  // namespace pmiot::ts

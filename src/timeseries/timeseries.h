@@ -1,0 +1,129 @@
+// Regular-interval time series — the common currency of every pmiot module.
+//
+// Smart-meter traces, per-appliance ground truth, solar generation, occupancy
+// labels, and defense outputs are all `TimeSeries`: a start instant, a fixed
+// sampling interval, and a dense vector of values (kW for power, kWh-scaled
+// where noted, 0/1 for labels). The class is a concrete value type (Core
+// Guidelines C.10): copyable, comparable, no hidden state.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/civil_time.h"
+
+namespace pmiot::ts {
+
+/// When and how often a series is sampled.
+struct TraceMeta {
+  CivilDate start_date{2017, 6, 1};
+  int start_minute = 0;        ///< minute-of-day of the first sample, [0,1440)
+  int interval_seconds = 60;   ///< sampling period, > 0
+
+  bool operator==(const TraceMeta&) const = default;
+};
+
+/// Dense, regularly sampled series of doubles.
+class TimeSeries {
+ public:
+  /// Empty series with default metadata (2017-06-01, 1-minute interval).
+  TimeSeries() : TimeSeries(TraceMeta{}) {}
+
+  /// Empty series with the given sampling metadata.
+  explicit TimeSeries(TraceMeta meta);
+
+  /// Series over existing samples. Validates meta.
+  TimeSeries(TraceMeta meta, std::vector<double> values);
+
+  const TraceMeta& meta() const noexcept { return meta_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  std::span<const double> values() const noexcept { return values_; }
+  std::vector<double>& mutable_values() noexcept { return values_; }
+
+  double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+
+  /// Appends one sample.
+  void push_back(double v) { values_.push_back(v); }
+
+  /// Number of samples covering one civil day at this interval. Requires the
+  /// interval to divide a day evenly.
+  std::size_t samples_per_day() const;
+
+  /// Calendar date of sample `i`.
+  CivilDate date_at(std::size_t i) const;
+
+  /// Minute-of-day (0..1439) of sample `i`.
+  int minute_of_day_at(std::size_t i) const;
+
+  /// Seconds since the series start at sample `i`.
+  long seconds_at(std::size_t i) const noexcept;
+
+  /// Sub-series [first, first+count). Requires the range to be in bounds.
+  TimeSeries slice(std::size_t first, std::size_t count) const;
+
+  /// Mean-aggregating resample to a coarser interval that is a multiple of
+  /// the current one. Trailing partial buckets are dropped.
+  TimeSeries resample(int new_interval_seconds) const;
+
+  /// Pointwise sum/difference. Requires identical meta and size.
+  TimeSeries& operator+=(const TimeSeries& other);
+  TimeSeries& operator-=(const TimeSeries& other);
+
+  /// Pointwise scale / clamp-below (used by defenses to keep power >= 0).
+  TimeSeries& scale(double factor) noexcept;
+  TimeSeries& clamp_min(double lo) noexcept;
+
+  /// Integral of the series in value-hours (power kW -> energy kWh).
+  double energy_kwh() const noexcept;
+
+  friend TimeSeries operator+(TimeSeries a, const TimeSeries& b) {
+    a += b;
+    return a;
+  }
+  friend TimeSeries operator-(TimeSeries a, const TimeSeries& b) {
+    a -= b;
+    return a;
+  }
+
+  bool operator==(const TimeSeries&) const = default;
+
+ private:
+  TraceMeta meta_;
+  std::vector<double> values_;
+};
+
+/// Zero-filled series spanning `days` civil days at `interval_seconds`.
+TimeSeries make_zero_days(const TraceMeta& meta, int days);
+
+/// Per-window summary emitted by `window_stats`.
+struct WindowStat {
+  std::size_t first = 0;  ///< index of the first sample of the window
+  double mean = 0.0;
+  double variance = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double range = 0.0;
+};
+
+/// Non-overlapping (stride == window) or overlapping window statistics over
+/// `xs`. Windows that would run past the end are dropped. Requires
+/// window > 0 and stride > 0.
+std::vector<WindowStat> window_stats(std::span<const double> xs,
+                                     std::size_t window, std::size_t stride);
+
+/// Centered moving average with half-width `radius` (window 2*radius+1),
+/// truncated at the borders.
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t radius);
+
+/// Median filter with half-width `radius`, truncated at the borders. Robust
+/// smoothing used by the solar signature extraction.
+std::vector<double> median_filter(std::span<const double> xs,
+                                  std::size_t radius);
+
+}  // namespace pmiot::ts

@@ -1,0 +1,108 @@
+#include "timeseries/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace pmiot::ts {
+namespace {
+
+std::string timestamp_of(const TimeSeries& series, std::size_t i) {
+  const auto date = series.date_at(i);
+  const int minute = series.minute_of_day_at(i);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d", date.year,
+                date.month, date.day, minute / 60, minute % 60);
+  return buf;
+}
+
+CivilDate parse_date(const std::string& text) {
+  int year = 0, month = 0, day = 0;
+  PMIOT_CHECK(std::sscanf(text.c_str(), "%d-%d-%d", &year, &month, &day) == 3,
+              "malformed date: " + text);
+  const CivilDate date{year, month, day};
+  PMIOT_CHECK(is_valid(date), "invalid date: " + text);
+  return date;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const TimeSeries& series,
+               int value_precision) {
+  PMIOT_CHECK(value_precision >= 0 && value_precision <= 17,
+              "precision out of range");
+  const auto& meta = series.meta();
+  os << "# pmiot-trace v1\n"
+     << "# start=" << to_string(meta.start_date)
+     << " start_minute=" << meta.start_minute
+     << " interval_seconds=" << meta.interval_seconds << '\n';
+  os << std::fixed << std::setprecision(value_precision);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << timestamp_of(series, i) << ',' << series[i] << '\n';
+  }
+}
+
+TimeSeries read_csv(std::istream& is) {
+  std::string line;
+  PMIOT_CHECK(std::getline(is, line) && line == "# pmiot-trace v1",
+              "missing pmiot-trace header");
+  PMIOT_CHECK(std::getline(is, line), "missing metadata line");
+
+  char date_buf[16];
+  int start_minute = 0, interval_seconds = 0;
+  PMIOT_CHECK(std::sscanf(line.c_str(),
+                          "# start=%15s start_minute=%d interval_seconds=%d",
+                          date_buf, &start_minute, &interval_seconds) == 3,
+              "malformed metadata line: " + line);
+  TraceMeta meta;
+  meta.start_date = parse_date(date_buf);
+  meta.start_minute = start_minute;
+  meta.interval_seconds = interval_seconds;
+
+  std::vector<double> values;
+  TimeSeries probe(meta);  // validates meta; also used for timestamp checks
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    PMIOT_CHECK(comma != std::string::npos, "malformed row: " + line);
+    const std::string stamp = line.substr(0, comma);
+    const std::string value_text = line.substr(comma + 1);
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(value_text, &consumed);
+    } catch (const std::exception&) {
+      throw InvalidArgument("malformed value in row: " + line);
+    }
+    PMIOT_CHECK(consumed == value_text.size(),
+                "trailing junk in row: " + line);
+    values.push_back(value);
+    // Validate the redundant timestamp against the declared grid.
+    probe.push_back(value);
+    const auto expected = timestamp_of(probe, values.size() - 1);
+    PMIOT_CHECK(stamp == expected,
+                "timestamp " + stamp + " does not match declared grid (want " +
+                    expected + ")");
+  }
+  return TimeSeries(meta, std::move(values));
+}
+
+void save_csv(const std::string& path, const TimeSeries& series) {
+  std::ofstream os(path);
+  PMIOT_CHECK(os.good(), "cannot open for writing: " + path);
+  write_csv(os, series);
+  PMIOT_CHECK(os.good(), "write failed: " + path);
+}
+
+TimeSeries load_csv(const std::string& path) {
+  std::ifstream is(path);
+  PMIOT_CHECK(is.good(), "cannot open for reading: " + path);
+  return read_csv(is);
+}
+
+}  // namespace pmiot::ts

@@ -1,0 +1,37 @@
+// Trace persistence: CSV read/write for TimeSeries.
+//
+// The interchange format downstream users need to bring their own meter
+// data into the library (or export simulated traces to plotting tools).
+// Layout: a two-line header carrying the sampling metadata, then one
+// "timestamp,value" row per sample:
+//
+//   # pmiot-trace v1
+//   # start=2017-06-01 start_minute=0 interval_seconds=60
+//   2017-06-01T00:00,0.412
+//   ...
+//
+// Timestamps are redundant (derived from the metadata) but keep the files
+// human- and spreadsheet-readable; the reader validates them against the
+// metadata to catch hand-edited inconsistencies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "timeseries/timeseries.h"
+
+namespace pmiot::ts {
+
+/// Writes `series` in the pmiot-trace CSV format.
+void write_csv(std::ostream& os, const TimeSeries& series,
+               int value_precision = 6);
+
+/// Parses a pmiot-trace CSV. Throws InvalidArgument on malformed headers,
+/// rows, or timestamps inconsistent with the declared metadata.
+TimeSeries read_csv(std::istream& is);
+
+/// Convenience round-trips through files.
+void save_csv(const std::string& path, const TimeSeries& series);
+TimeSeries load_csv(const std::string& path);
+
+}  // namespace pmiot::ts

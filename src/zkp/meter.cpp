@@ -1,0 +1,77 @@
+#include "zkp/meter.h"
+
+#include "common/error.h"
+
+namespace pmiot::zkp {
+
+PrivateMeter::PrivateMeter(GroupParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  PMIOT_CHECK(params_.p != 0 && params_.in_group(params_.g) &&
+                  params_.in_group(params_.h),
+              "invalid group parameters");
+}
+
+u64 PrivateMeter::record(u64 wh) {
+  PMIOT_CHECK(wh < (1ULL << 16), "reading exceeds range-proof width");
+  const u64 r = random_scalar(params_, rng_);
+  const u64 c = commit(params_, wh, r);
+  readings_.push_back(wh);
+  blindings_.push_back(r);
+  commitments_.push_back(c);
+  return c;
+}
+
+RangeProof PrivateMeter::range_proof(std::size_t index, int bits,
+                                     Rng& rng) const {
+  PMIOT_CHECK(index < readings_.size(), "index out of range");
+  return prove_range(params_, readings_[index], blindings_[index], bits, rng);
+}
+
+BillResponse PrivateMeter::bill_response(std::span<const u64> prices) const {
+  PMIOT_CHECK(prices.size() == readings_.size(),
+              "tariff must cover every interval");
+  BillResponse response;
+  u64 bill = 0;
+  u64 blinding = 0;
+  for (std::size_t i = 0; i < readings_.size(); ++i) {
+    bill += prices[i] * readings_[i];  // plain integer arithmetic: the bill
+                                       // itself is public output
+    blinding = addmod(blinding, mulmod(prices[i] % params_.q, blindings_[i],
+                                       params_.q),
+                      params_.q);
+  }
+  response.bill = bill;
+  response.blinding = blinding;
+  return response;
+}
+
+bool verify_bill(const GroupParams& params, std::span<const u64> commitments,
+                 std::span<const u64> prices, const BillResponse& response) {
+  if (commitments.size() != prices.size()) return false;
+  u64 product = 1;
+  for (std::size_t i = 0; i < commitments.size(); ++i) {
+    if (!params.in_group(commitments[i])) return false;
+    product = mulmod(product, powmod(commitments[i], prices[i], params.p),
+                     params.p);
+  }
+  return product == commit(params, response.bill, response.blinding);
+}
+
+std::vector<u64> time_of_use_prices(std::size_t intervals,
+                                    int interval_seconds, u64 offpeak_price,
+                                    u64 peak_price, int peak_start_hour,
+                                    int peak_end_hour) {
+  PMIOT_CHECK(interval_seconds > 0, "interval must be positive");
+  std::vector<u64> prices(intervals);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const long second_of_day =
+        (static_cast<long>(i) * interval_seconds) % (24L * 3600);
+    const int hour = static_cast<int>(second_of_day / 3600);
+    prices[i] = (hour >= peak_start_hour && hour < peak_end_hour)
+                    ? peak_price
+                    : offpeak_price;
+  }
+  return prices;
+}
+
+}  // namespace pmiot::zkp

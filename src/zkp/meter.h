@@ -1,0 +1,71 @@
+// The privacy-preserving smart meter (paper §III-C, after Molina-Markham
+// et al., BuildSys'10 / FC'12).
+//
+// Protocol: the meter keeps raw readings local. Per interval it publishes
+// only a Pedersen commitment (optionally with a range proof bounding the
+// reading by the service-panel limit). At billing time the utility sends a
+// tariff — a price per interval — and the meter answers with the bill and
+// one blinding scalar; the homomorphism lets the utility verify the bill
+// against the published commitments without ever seeing a reading:
+//     prod_i C_i^{price_i} == g^{bill} * h^{blinding}.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "zkp/proofs.h"
+
+namespace pmiot::zkp {
+
+/// A verifiable bill response.
+struct BillResponse {
+  u64 bill = 0;      ///< sum_i price_i * reading_i  (tariff units x Wh)
+  u64 blinding = 0;  ///< sum_i price_i * r_i mod q
+};
+
+/// Meter-side state: readings and blinding factors stay private.
+class PrivateMeter {
+ public:
+  PrivateMeter(GroupParams params, std::uint64_t seed);
+
+  /// Records one interval's consumption (Wh) and returns the published
+  /// commitment. Readings must fit the range-proof width (16 bits, i.e.
+  /// < 65.5 kWh per interval — far above any residential panel).
+  u64 record(u64 wh);
+
+  /// Range proof for reading `index` (published alongside the commitment
+  /// when the utility requires boundedness).
+  RangeProof range_proof(std::size_t index, int bits, Rng& rng) const;
+
+  std::size_t count() const noexcept { return readings_.size(); }
+  std::span<const u64> commitments() const noexcept { return commitments_; }
+
+  /// Answers a billing query. `prices` has one entry per recorded interval
+  /// (tariff units, e.g. hundredths of a cent per Wh).
+  BillResponse bill_response(std::span<const u64> prices) const;
+
+  const GroupParams& params() const noexcept { return params_; }
+
+ private:
+  GroupParams params_;
+  mutable Rng rng_;
+  std::vector<u64> readings_;
+  std::vector<u64> blindings_;
+  std::vector<u64> commitments_;
+};
+
+/// Utility-side verification of a bill response against the published
+/// commitments. Does not require (or reveal) any reading.
+bool verify_bill(const GroupParams& params, std::span<const u64> commitments,
+                 std::span<const u64> prices, const BillResponse& response);
+
+/// Time-of-use tariff helper: price per interval from the interval's local
+/// hour (peak/off-peak), in tariff units.
+std::vector<u64> time_of_use_prices(std::size_t intervals,
+                                    int interval_seconds, u64 offpeak_price,
+                                    u64 peak_price, int peak_start_hour = 16,
+                                    int peak_end_hour = 21);
+
+}  // namespace pmiot::zkp

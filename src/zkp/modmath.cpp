@@ -1,0 +1,84 @@
+#include "zkp/modmath.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace pmiot::zkp {
+
+u64 mulmod(u64 a, u64 b, u64 m) noexcept {
+  return static_cast<u64>(static_cast<unsigned __int128>(a % m) * (b % m) % m);
+}
+
+u64 powmod(u64 base, u64 exp, u64 m) noexcept {
+  u64 result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+u64 invmod(u64 a, u64 m) {
+  // Extended Euclid over signed 128-bit to avoid overflow.
+  __int128 t = 0, new_t = 1;
+  __int128 r = m, new_r = a % m;
+  while (new_r != 0) {
+    const __int128 q = r / new_r;
+    const __int128 tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const __int128 tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  PMIOT_CHECK(r == 1, "invmod of non-coprime element");
+  if (t < 0) t += m;
+  return static_cast<u64>(t);
+}
+
+bool is_prime(u64 n) noexcept {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // Deterministic witness set for 64-bit integers.
+  for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    u64 x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 1; i < r; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+u64 next_safe_prime(u64 start) {
+  PMIOT_CHECK(start >= 5, "start too small for a safe prime");
+  u64 p = start | 1;  // odd
+  // A safe prime p = 2q+1 has p % 12 == 11, except for p = 5 and p = 7.
+  while (true) {
+    if ((p < 12 || p % 12 == 11) && is_prime(p) && is_prime((p - 1) / 2)) {
+      return p;
+    }
+    p += 2;
+  }
+}
+
+}  // namespace pmiot::zkp

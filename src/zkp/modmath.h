@@ -1,0 +1,46 @@
+// Modular arithmetic over 64-bit moduli (via 128-bit intermediates),
+// Miller-Rabin primality, and deterministic safe-prime generation.
+//
+// This is the number-theoretic substrate for the privacy-preserving smart
+// meter (paper §III-C). The group sizes are deliberately small (< 2^62) so
+// the whole construction is self-contained and fast in tests; parameters at
+// this size are SIMULATION-GRADE — the protocol logic is what is being
+// reproduced, not cryptographic strength (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+
+namespace pmiot::zkp {
+
+using u64 = std::uint64_t;
+
+/// (a * b) mod m without overflow.
+u64 mulmod(u64 a, u64 b, u64 m) noexcept;
+
+/// (base ^ exp) mod m.
+u64 powmod(u64 base, u64 exp, u64 m) noexcept;
+
+/// Modular inverse of a (mod m), for gcd(a, m) == 1. Throws otherwise.
+u64 invmod(u64 a, u64 m);
+
+/// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+bool is_prime(u64 n) noexcept;
+
+/// Smallest safe prime p >= start (p and (p-1)/2 both prime, p odd).
+/// Requires start >= 5.
+u64 next_safe_prime(u64 start);
+
+/// Additive/subtractive helpers mod m.
+inline u64 addmod(u64 a, u64 b, u64 m) noexcept {
+  a %= m;
+  b %= m;
+  const u64 s = a + b;
+  return (s >= m || s < a) ? s - m : s;
+}
+inline u64 submod(u64 a, u64 b, u64 m) noexcept {
+  a %= m;
+  b %= m;
+  return a >= b ? a - b : a + (m - b);
+}
+
+}  // namespace pmiot::zkp

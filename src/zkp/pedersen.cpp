@@ -1,0 +1,48 @@
+#include "zkp/pedersen.h"
+
+#include "common/error.h"
+
+namespace pmiot::zkp {
+
+GroupParams GroupParams::generate(int bits, u64 seed) {
+  PMIOT_CHECK(bits >= 16 && bits <= 62, "bits must be in [16, 62]");
+  GroupParams params;
+  params.p = next_safe_prime((1ULL << (bits - 1)) + 1);
+  params.q = (params.p - 1) / 2;
+
+  // Any square other than 1 generates the order-q subgroup (q prime).
+  Rng rng(seed);
+  auto random_square = [&]() {
+    while (true) {
+      const u64 x = static_cast<u64>(rng.uniform_int(
+                        2, static_cast<std::int64_t>(params.p - 2)));
+      const u64 sq = mulmod(x, x, params.p);
+      if (sq != 1) return sq;
+    }
+  };
+  params.g = random_square();
+  // Trusted setup: h = g^s for a secret s that is discarded. With s unknown
+  // to the prover, finding an opening collision requires dlog.
+  const u64 s = static_cast<u64>(
+      rng.uniform_int(2, static_cast<std::int64_t>(params.q - 1)));
+  params.h = powmod(params.g, s, params.p);
+  PMIOT_ASSERT(params.h != params.g, "degenerate generator pair");
+  return params;
+}
+
+bool GroupParams::in_group(u64 x) const noexcept {
+  if (x == 0 || x >= p) return false;
+  return powmod(x, q, p) == 1;
+}
+
+u64 commit(const GroupParams& params, u64 m, u64 r) noexcept {
+  return mulmod(powmod(params.g, m % params.q, params.p),
+                powmod(params.h, r % params.q, params.p), params.p);
+}
+
+u64 random_scalar(const GroupParams& params, Rng& rng) noexcept {
+  return static_cast<u64>(
+      rng.uniform_int(0, static_cast<std::int64_t>(params.q - 1)));
+}
+
+}  // namespace pmiot::zkp

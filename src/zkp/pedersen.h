@@ -1,0 +1,40 @@
+// Pedersen commitments over a Schnorr group (prime-order subgroup of Z_p*).
+//
+// The commitment scheme behind the privacy-preserving smart meter (paper
+// §III-C, after Molina-Markham et al.): commit(m, r) = g^m * h^r mod p is
+// perfectly hiding and computationally binding, and *additively
+// homomorphic* — the property that lets a meter prove facts about sums of
+// readings (a bill) without revealing any individual reading.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "zkp/modmath.h"
+
+namespace pmiot::zkp {
+
+/// Group and commitment parameters. p = 2q + 1 safe prime; g, h generate
+/// the order-q subgroup of squares. h is derived from g with a secret
+/// exponent that is discarded after setup (simulation-grade trusted setup).
+struct GroupParams {
+  u64 p = 0;  ///< safe prime modulus
+  u64 q = 0;  ///< subgroup order, (p-1)/2
+  u64 g = 0;  ///< generator of the order-q subgroup
+  u64 h = 0;  ///< second generator with unknown dlog relative to g
+
+  /// Deterministic parameter generation: the smallest safe prime at the
+  /// requested bit size, generators derived from `seed`. `bits` in [16,62].
+  static GroupParams generate(int bits, u64 seed);
+
+  /// Membership check for the order-q subgroup (quadratic residues).
+  bool in_group(u64 x) const noexcept;
+};
+
+/// commit(m, r) = g^m h^r mod p. m and r are reduced mod q.
+u64 commit(const GroupParams& params, u64 m, u64 r) noexcept;
+
+/// Uniform blinding factor in [0, q).
+u64 random_scalar(const GroupParams& params, Rng& rng) noexcept;
+
+}  // namespace pmiot::zkp

@@ -1,0 +1,151 @@
+#include "zkp/proofs.h"
+
+#include "common/error.h"
+#include "zkp/sha256.h"
+
+namespace pmiot::zkp {
+namespace {
+
+/// Fiat-Shamir challenge over a transcript of group elements, mod q.
+u64 challenge(const GroupParams& params, std::initializer_list<u64> transcript) {
+  Sha256 h;
+  h.update_u64(params.p).update_u64(params.g).update_u64(params.h);
+  for (u64 v : transcript) h.update_u64(v);
+  return Sha256::truncated(h.digest()) % params.q;
+}
+
+}  // namespace
+
+OpeningProof prove_opening(const GroupParams& params, u64 m, u64 r, Rng& rng) {
+  const u64 a = random_scalar(params, rng);
+  const u64 b = random_scalar(params, rng);
+  OpeningProof proof;
+  proof.t = commit(params, a, b);
+  const u64 commitment = commit(params, m, r);
+  const u64 c = challenge(params, {commitment, proof.t});
+  proof.sm = addmod(a, mulmod(c, m % params.q, params.q), params.q);
+  proof.sr = addmod(b, mulmod(c, r % params.q, params.q), params.q);
+  return proof;
+}
+
+bool verify_opening(const GroupParams& params, u64 commitment,
+                    const OpeningProof& proof) {
+  if (!params.in_group(commitment) || !params.in_group(proof.t)) return false;
+  const u64 c = challenge(params, {commitment, proof.t});
+  const u64 lhs = commit(params, proof.sm, proof.sr);
+  const u64 rhs =
+      mulmod(proof.t, powmod(commitment, c, params.p), params.p);
+  return lhs == rhs;
+}
+
+BitProof prove_bit(const GroupParams& params, int bit, u64 r, Rng& rng) {
+  PMIOT_CHECK(bit == 0 || bit == 1, "bit must be 0 or 1");
+  const u64 commitment = commit(params, static_cast<u64>(bit), r);
+  // Statement 0: C       = h^r
+  // Statement 1: C * g^-1 = h^r
+  const u64 c_over_g =
+      mulmod(commitment, invmod(params.g, params.p), params.p);
+
+  BitProof proof;
+  if (bit == 0) {
+    // Real branch 0, simulated branch 1.
+    const u64 a0 = random_scalar(params, rng);
+    proof.t0 = powmod(params.h, a0, params.p);
+    proof.c1 = random_scalar(params, rng);
+    proof.s1 = random_scalar(params, rng);
+    // t1 = h^s1 * (C/g)^(-c1)
+    const u64 neg = powmod(invmod(c_over_g, params.p), proof.c1, params.p);
+    proof.t1 = mulmod(powmod(params.h, proof.s1, params.p), neg, params.p);
+    const u64 c = challenge(params, {commitment, proof.t0, proof.t1});
+    proof.c0 = submod(c, proof.c1, params.q);
+    proof.s0 = addmod(a0, mulmod(proof.c0, r % params.q, params.q), params.q);
+  } else {
+    // Real branch 1, simulated branch 0.
+    const u64 a1 = random_scalar(params, rng);
+    proof.t1 = powmod(params.h, a1, params.p);
+    proof.c0 = random_scalar(params, rng);
+    proof.s0 = random_scalar(params, rng);
+    const u64 neg = powmod(invmod(commitment, params.p), proof.c0, params.p);
+    proof.t0 = mulmod(powmod(params.h, proof.s0, params.p), neg, params.p);
+    const u64 c = challenge(params, {commitment, proof.t0, proof.t1});
+    proof.c1 = submod(c, proof.c0, params.q);
+    proof.s1 = addmod(a1, mulmod(proof.c1, r % params.q, params.q), params.q);
+  }
+  return proof;
+}
+
+bool verify_bit(const GroupParams& params, u64 commitment,
+                const BitProof& proof) {
+  if (!params.in_group(commitment) || !params.in_group(proof.t0) ||
+      !params.in_group(proof.t1)) {
+    return false;
+  }
+  const u64 c = challenge(params, {commitment, proof.t0, proof.t1});
+  if (addmod(proof.c0, proof.c1, params.q) != c) return false;
+  // Branch 0: h^s0 == t0 * C^c0
+  const u64 lhs0 = powmod(params.h, proof.s0, params.p);
+  const u64 rhs0 =
+      mulmod(proof.t0, powmod(commitment, proof.c0, params.p), params.p);
+  if (lhs0 != rhs0) return false;
+  // Branch 1: h^s1 == t1 * (C/g)^c1
+  const u64 c_over_g =
+      mulmod(commitment, invmod(params.g, params.p), params.p);
+  const u64 lhs1 = powmod(params.h, proof.s1, params.p);
+  const u64 rhs1 =
+      mulmod(proof.t1, powmod(c_over_g, proof.c1, params.p), params.p);
+  return lhs1 == rhs1;
+}
+
+RangeProof prove_range(const GroupParams& params, u64 m, u64 r, int k,
+                       Rng& rng) {
+  PMIOT_CHECK(k >= 1 && k < 62, "k out of range");
+  PMIOT_CHECK(m < (1ULL << k), "value does not fit in k bits");
+
+  RangeProof proof;
+  u64 weighted_r = 0;
+  for (int i = 0; i < k; ++i) {
+    const int bit = static_cast<int>((m >> i) & 1);
+    const u64 ri = random_scalar(params, rng);
+    proof.bit_commitments.push_back(
+        commit(params, static_cast<u64>(bit), ri));
+    proof.bit_proofs.push_back(prove_bit(params, bit, ri, rng));
+    weighted_r = addmod(
+        weighted_r, mulmod((1ULL << i) % params.q, ri, params.q), params.q);
+  }
+  proof.blinding_adjust = submod(r % params.q, weighted_r, params.q);
+  return proof;
+}
+
+bool verify_range(const GroupParams& params, u64 commitment,
+                  const RangeProof& proof) {
+  if (proof.bit_commitments.size() != proof.bit_proofs.size() ||
+      proof.bit_commitments.empty()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < proof.bit_commitments.size(); ++i) {
+    if (!verify_bit(params, proof.bit_commitments[i], proof.bit_proofs[i])) {
+      return false;
+    }
+  }
+  // Homomorphic rebind: product of C_i^(2^i) times h^adjust must equal C.
+  u64 product = 1;
+  for (std::size_t i = 0; i < proof.bit_commitments.size(); ++i) {
+    product = mulmod(
+        product,
+        powmod(proof.bit_commitments[i], 1ULL << i, params.p), params.p);
+  }
+  product = mulmod(product, powmod(params.h, proof.blinding_adjust, params.p),
+                   params.p);
+  return product == commitment;
+}
+
+std::size_t proof_size_bytes(const OpeningProof&) noexcept { return 3 * 8; }
+
+std::size_t proof_size_bytes(const BitProof&) noexcept { return 6 * 8; }
+
+std::size_t proof_size_bytes(const RangeProof& proof) noexcept {
+  return proof.bit_commitments.size() * 8 +
+         proof.bit_proofs.size() * 6 * 8 + 8;
+}
+
+}  // namespace pmiot::zkp

@@ -1,0 +1,46 @@
+// Self-contained SHA-256, used as the Fiat-Shamir random oracle for the
+// non-interactive sigma protocols in pmiot::zkp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pmiot::zkp {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs raw bytes.
+  Sha256& update(const void* data, std::size_t len);
+  Sha256& update(const std::string& s) { return update(s.data(), s.size()); }
+
+  /// Absorbs a 64-bit integer (big-endian), the common case for group
+  /// elements in transcripts.
+  Sha256& update_u64(std::uint64_t v);
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, 32> digest();
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, 32> hash(const void* data, std::size_t len);
+
+  /// First 8 digest bytes as a big-endian integer — the Fiat-Shamir
+  /// challenge derivation used by the proofs (reduced mod q by callers).
+  static std::uint64_t truncated(const std::array<std::uint8_t, 32>& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace pmiot::zkp

@@ -1,0 +1,403 @@
+// Tests for the defense module: water-heater physics, CHPr masking,
+// battery levelling, obfuscation primitives, and differential privacy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "defense/battery.h"
+#include "defense/chpr.h"
+#include "defense/dp.h"
+#include "defense/obfuscation.h"
+#include "defense/water_heater.h"
+#include "niom/detector.h"
+#include "niom/evaluate.h"
+#include "synth/home.h"
+
+namespace pmiot::defense {
+namespace {
+
+// --- water heater ----------------------------------------------------------
+
+TEST(Tank, HeatingRaisesTemperature) {
+  WaterHeaterTank tank(TankOptions{}, 50.0);
+  const double before = tank.temperature_c();
+  tank.step(4.5, 0.0, 10.0);
+  EXPECT_GT(tank.temperature_c(), before + 2.0);
+}
+
+TEST(Tank, DrawsLowerTemperature) {
+  WaterHeaterTank tank(TankOptions{}, 55.0);
+  tank.step(0.0, 40.0, 1.0);
+  EXPECT_LT(tank.temperature_c(), 55.0);
+  EXPECT_GT(tank.temperature_c(), TankOptions{}.inlet_c);
+}
+
+TEST(Tank, StandingLossesCoolSlowly) {
+  WaterHeaterTank tank(TankOptions{}, 60.0);
+  for (int m = 0; m < 600; ++m) tank.step(0.0, 0.0, 1.0);
+  EXPECT_LT(tank.temperature_c(), 60.0);
+  EXPECT_GT(tank.temperature_c(), 54.0);  // ~2 kWh/day standby loss
+}
+
+TEST(Tank, HeatClampedToElementRating) {
+  TankOptions options;
+  WaterHeaterTank a(options, 50.0), b(options, 50.0);
+  a.step(options.element_kw, 0.0, 5.0);
+  b.step(100.0, 0.0, 5.0);  // silently clamped
+  EXPECT_NEAR(a.temperature_c(), b.temperature_c(), 1e-9);
+}
+
+TEST(Tank, FlagsComfortAndHeadroom) {
+  TankOptions options;
+  WaterHeaterTank cold(options, options.min_temp_c - 1.0);
+  EXPECT_TRUE(cold.must_heat());
+  WaterHeaterTank hot(options, options.max_temp_c + 0.5);
+  EXPECT_FALSE(hot.can_heat());
+}
+
+TEST(Tank, EnergyPerDegreeMatchesPhysics) {
+  // 189 L of water: ~0.22 kWh per Kelvin.
+  WaterHeaterTank tank(TankOptions{}, 50.0);
+  EXPECT_NEAR(tank.kwh_per_degree(), 0.2197, 0.001);
+}
+
+TEST(HotWaterDraws, OnlyWhenOccupied) {
+  Rng rng(1);
+  std::vector<int> vacant(2 * kMinutesPerDay, 0);
+  const auto draws = simulate_hot_water_draws(vacant, rng);
+  EXPECT_DOUBLE_EQ(stats::max(draws), 0.0);
+}
+
+TEST(HotWaterDraws, RealisticDailyVolume) {
+  Rng rng(2);
+  std::vector<int> home(7 * kMinutesPerDay, 1);
+  const auto draws = simulate_hot_water_draws(home, rng);
+  const double daily_liters = stats::sum(draws) / 7.0;
+  EXPECT_GT(daily_liters, 40.0);
+  EXPECT_LT(daily_liters, 250.0);
+}
+
+TEST(Thermostat, HoldsTemperatureBand) {
+  Rng rng(3);
+  std::vector<int> home(3 * kMinutesPerDay, 1);
+  const auto draws = simulate_hot_water_draws(home, rng);
+  TankOptions options;
+  const auto power = thermostat_schedule(options, draws);
+  ASSERT_EQ(power.size(), draws.size());
+  // Replay to check the temperature band.
+  WaterHeaterTank tank(options, options.setpoint_c);
+  for (std::size_t t = 0; t < power.size(); ++t) {
+    tank.step(power[t], draws[t], 1.0);
+    EXPECT_GT(tank.temperature_c(), options.min_temp_c - 8.0);
+    EXPECT_LT(tank.temperature_c(), options.setpoint_c + 2.0);
+  }
+}
+
+// --- CHPr -------------------------------------------------------------------
+
+struct ChprScene {
+  synth::HomeTrace home;
+  std::vector<double> draws;
+  ChprResult result;
+};
+
+ChprScene run_chpr(std::uint64_t seed = 11, int days = 7) {
+  auto cfg = synth::home_b();
+  std::vector<synth::ApplianceSpec> apps;
+  for (const auto& a : cfg.appliances) {
+    if (a.name != "water_heater") apps.push_back(a);
+  }
+  cfg.appliances = apps;
+  Rng rng(seed);
+  ChprScene scene{synth::simulate_home(cfg, CivilDate{2017, 6, 5}, days, rng),
+                  {},
+                  ChprResult{}};
+  scene.draws = simulate_hot_water_draws(scene.home.occupancy, rng);
+  scene.result =
+      apply_chpr(scene.home.aggregate, scene.draws, ChprOptions{}, rng);
+  return scene;
+}
+
+TEST(Chpr, CutsOccupancyMccByHalfOrMore) {
+  const auto scene = run_chpr();
+  // Raw baseline: home + conventional heater.
+  const auto conventional =
+      thermostat_schedule(TankOptions{}, scene.draws);
+  auto raw = scene.home.aggregate;
+  for (std::size_t t = 0; t < raw.size(); ++t) raw[t] += conventional[t];
+
+  niom::ThresholdNiom attack;
+  const auto raw_report = niom::evaluate(attack, raw, scene.home.occupancy,
+                                         niom::waking_hours());
+  const auto chpr_report = niom::evaluate(
+      attack, scene.result.masked, scene.home.occupancy, niom::waking_hours());
+  EXPECT_GT(raw_report.mcc, 0.3);
+  EXPECT_LT(chpr_report.mcc, raw_report.mcc * 0.5);
+}
+
+TEST(Chpr, NoComfortViolations) {
+  const auto scene = run_chpr();
+  EXPECT_EQ(scene.result.comfort_violation_minutes, 0);
+}
+
+TEST(Chpr, TankStaysInsideBand) {
+  const auto scene = run_chpr();
+  const TankOptions options;
+  for (double temp : scene.result.tank_temp_c) {
+    EXPECT_GT(temp, options.min_temp_c - 6.0);
+    EXPECT_LT(temp, options.max_temp_c + 1.0);
+  }
+}
+
+TEST(Chpr, HeaterPowerIsElementBounded) {
+  const auto scene = run_chpr();
+  for (double kw : scene.result.heater_kw) {
+    EXPECT_GE(kw, 0.0);
+    EXPECT_LE(kw, TankOptions{}.element_kw);
+  }
+}
+
+TEST(Chpr, MaskedEqualsHomePlusHeater) {
+  const auto scene = run_chpr();
+  for (std::size_t t = 0; t < scene.result.masked.size(); ++t) {
+    EXPECT_NEAR(scene.result.masked[t],
+                scene.home.aggregate[t] + scene.result.heater_kw[t], 1e-9);
+  }
+}
+
+TEST(Chpr, ValidatesInput) {
+  Rng rng(1);
+  ts::TimeSeries hourly(ts::TraceMeta{CivilDate{2017, 6, 1}, 0, 3600},
+                        std::vector<double>(48, 0.5));
+  std::vector<double> draws(48, 0.0);
+  EXPECT_THROW(apply_chpr(hourly, draws, ChprOptions{}, rng),
+               InvalidArgument);
+}
+
+// --- battery -----------------------------------------------------------------
+
+TEST(Battery, FlattensVariance) {
+  Rng rng(21);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 5, rng);
+  const auto result = apply_battery(home.aggregate, BatteryOptions{}, 1.0);
+  EXPECT_LT(stats::variance(result.metered.values()),
+            stats::variance(home.aggregate.values()) * 0.35);
+}
+
+TEST(Battery, IntensityZeroIsIdentity) {
+  Rng rng(22);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 2, rng);
+  const auto result = apply_battery(home.aggregate, BatteryOptions{}, 0.0);
+  for (std::size_t t = 0; t < result.metered.size(); ++t) {
+    EXPECT_DOUBLE_EQ(result.metered[t], home.aggregate[t]);
+  }
+  EXPECT_DOUBLE_EQ(result.losses_kwh, 0.0);
+}
+
+TEST(Battery, SocStaysWithinCapacity) {
+  Rng rng(23);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 5, rng);
+  BatteryOptions options;
+  const auto result = apply_battery(home.aggregate, options, 1.0);
+  for (double soc : result.soc_kwh) {
+    EXPECT_GE(soc, -1e-9);
+    EXPECT_LE(soc, options.capacity_kwh + 1e-9);
+  }
+}
+
+TEST(Battery, LossesGrowWithActivity) {
+  Rng rng(24);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 5, rng);
+  const auto half = apply_battery(home.aggregate, BatteryOptions{}, 0.5);
+  const auto full = apply_battery(home.aggregate, BatteryOptions{}, 1.0);
+  EXPECT_GT(full.losses_kwh, half.losses_kwh);
+  EXPECT_GT(full.losses_kwh, 0.0);
+}
+
+TEST(Battery, MeterNeverNegative) {
+  Rng rng(25);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 3, rng);
+  const auto result = apply_battery(home.aggregate, BatteryOptions{}, 1.0);
+  for (std::size_t t = 0; t < result.metered.size(); ++t) {
+    EXPECT_GE(result.metered[t], 0.0);
+  }
+}
+
+TEST(Nill, HoldsMeterAtSteadyTargets) {
+  Rng rng(26);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 5, rng);
+  const auto result = apply_nill(home.aggregate, NillOptions{});
+  // Most samples sit exactly on one of the (few) targets: the metered
+  // signal takes only a handful of distinct values apart from leaks.
+  const double leak_fraction =
+      static_cast<double>(result.leak_samples) /
+      static_cast<double>(result.metered.size());
+  EXPECT_LT(leak_fraction, 0.2);
+  EXPECT_LT(stats::variance(result.metered.values()),
+            stats::variance(home.aggregate.values()) * 0.3);
+}
+
+TEST(Nill, RecoveryStatesActivate) {
+  Rng rng(27);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 7, rng);
+  NillOptions options;
+  options.battery.capacity_kwh = 3.0;  // small battery forces recoveries
+  const auto result = apply_nill(home.aggregate, options);
+  EXPECT_GT(result.state_changes, 0);
+  for (double soc : result.soc_kwh) {
+    EXPECT_GE(soc, -1e-9);
+    EXPECT_LE(soc, options.battery.capacity_kwh + 1e-9);
+  }
+}
+
+TEST(Nill, DefeatsNiomAndNilmLikeLeveller) {
+  Rng rng(28);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 7, rng);
+  const auto result = apply_nill(home.aggregate, NillOptions{});
+  niom::ThresholdNiom attack;
+  const auto report = niom::evaluate(attack, result.metered, home.occupancy,
+                                     niom::waking_hours());
+  EXPECT_LT(std::fabs(report.mcc), 0.25);
+}
+
+TEST(Nill, ValidatesThresholdOrdering) {
+  Rng rng(29);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 2, rng);
+  NillOptions bad;
+  bad.soc_low = 0.9;
+  EXPECT_THROW(apply_nill(home.aggregate, bad), InvalidArgument);
+}
+
+// --- obfuscation ---------------------------------------------------------------
+
+TEST(Noise, ZeroSigmaIsIdentity) {
+  Rng rng(31);
+  ts::TimeSeries s(ts::TraceMeta{}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(inject_noise(s, 0.0, rng), s);
+}
+
+TEST(Noise, PerturbsAndStaysNonNegative) {
+  Rng rng(32);
+  ts::TimeSeries s(ts::TraceMeta{}, std::vector<double>(1000, 0.05));
+  const auto noisy = inject_noise(s, 0.5, rng);
+  bool changed = false;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    EXPECT_GE(noisy[i], 0.0);
+    changed |= noisy[i] != s[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Smoothing, ZeroRadiusIsIdentity) {
+  ts::TimeSeries s(ts::TraceMeta{}, {1.0, 5.0, 1.0});
+  EXPECT_EQ(smooth_reporting(s, 0), s);
+}
+
+TEST(Smoothing, ReducesVarianceKeepsEnergy) {
+  Rng rng(33);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 3, rng);
+  const auto smooth = smooth_reporting(home.aggregate, 15);
+  EXPECT_LT(stats::variance(smooth.values()),
+            stats::variance(home.aggregate.values()));
+  EXPECT_LT(billing_error(home.aggregate, smooth), 0.01);
+}
+
+TEST(BillingError, MeasuresEnergyDistortion) {
+  ts::TimeSeries base(ts::TraceMeta{}, {1.0, 1.0});
+  ts::TimeSeries up(ts::TraceMeta{}, {1.1, 1.1});
+  EXPECT_NEAR(billing_error(base, up), 0.1, 1e-9);
+  ts::TimeSeries zero(ts::TraceMeta{}, {0.0, 0.0});
+  EXPECT_THROW(billing_error(zero, base), InvalidArgument);
+}
+
+// --- differential privacy ---------------------------------------------------------
+
+TEST(Dp, LaplaceScale) {
+  EXPECT_DOUBLE_EQ(laplace_scale(10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(laplace_scale(10.0, 2.0), 5.0);
+  EXPECT_THROW(laplace_scale(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(laplace_scale(1.0, 0.0), InvalidArgument);
+}
+
+std::vector<ts::TimeSeries> small_neighborhood(int homes, int days,
+                                               std::uint64_t seed) {
+  std::vector<ts::TimeSeries> out;
+  const auto population = synth::home_population(homes);
+  Rng rng(seed);
+  for (const auto& cfg : population) {
+    out.push_back(
+        synth::simulate_home(cfg, CivilDate{2017, 6, 5}, days, rng).aggregate);
+  }
+  return out;
+}
+
+TEST(Dp, AggregateErrorShrinksWithEpsilon) {
+  const auto homes = small_neighborhood(6, 2, 41);
+  Rng r1(1), r2(1);
+  const auto loose = dp_aggregate(homes, 0.05, 10.0, r1);
+  const auto tight = dp_aggregate(homes, 5.0, 10.0, r2);
+  EXPECT_LT(aggregate_error(homes, tight), aggregate_error(homes, loose));
+}
+
+TEST(Dp, AggregateErrorShrinksWithMoreHomes) {
+  // Relative error of the sum falls as the neighborhood grows (same noise,
+  // bigger signal) — the paper's "grid-scale analytics stay accurate".
+  const auto few = small_neighborhood(3, 2, 42);
+  const auto many = small_neighborhood(12, 2, 42);
+  Rng r1(2), r2(2);
+  const auto released_few = dp_aggregate(few, 0.5, 10.0, r1);
+  const auto released_many = dp_aggregate(many, 0.5, 10.0, r2);
+  EXPECT_LT(aggregate_error(many, released_many),
+            aggregate_error(few, released_few));
+}
+
+TEST(Dp, SingleHomeNoiseDrownsOccupancySignal) {
+  Rng rng(43);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 7, rng);
+  Rng noise_rng(44);
+  const auto released = dp_single_home(home.aggregate, 0.1, 10.0, noise_rng);
+  niom::ThresholdNiom attack;
+  const auto report = niom::evaluate(attack, released, home.occupancy,
+                                     niom::waking_hours());
+  EXPECT_LT(std::fabs(report.mcc), 0.2);
+}
+
+TEST(Dp, RejectsMismatchedHomes) {
+  auto homes = small_neighborhood(2, 2, 45);
+  homes[1] = homes[1].slice(0, homes[1].size() - 10);
+  Rng rng(1);
+  EXPECT_THROW(dp_aggregate(homes, 1.0, 10.0, rng), InvalidArgument);
+}
+
+class BatteryIntensity : public ::testing::TestWithParam<double> {};
+
+TEST_P(BatteryIntensity, VarianceDecreasesMonotonically) {
+  Rng rng(46);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 6, 5}, 3, rng);
+  const auto weaker =
+      apply_battery(home.aggregate, BatteryOptions{}, GetParam() * 0.5);
+  const auto stronger =
+      apply_battery(home.aggregate, BatteryOptions{}, GetParam());
+  EXPECT_LE(stats::variance(stronger.metered.values()),
+            stats::variance(weaker.metered.values()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, BatteryIntensity,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace pmiot::defense

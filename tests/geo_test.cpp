@@ -1,0 +1,182 @@
+// Unit tests for the solar geometry library: distances, solar position,
+// and the SunSpot inversion primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "geo/solar_geometry.h"
+
+namespace pmiot::geo {
+namespace {
+
+constexpr double kDeg2Rad = M_PI / 180.0;
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLon p{42.39, -72.53};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, KnownCityDistances) {
+  // New York <-> Los Angeles is about 3936 km.
+  const LatLon nyc{40.7128, -74.0060};
+  const LatLon la{34.0522, -118.2437};
+  EXPECT_NEAR(haversine_km(nyc, la), 3936.0, 40.0);
+  // Boston <-> Amherst MA is about 120 km.
+  const LatLon boston{42.3601, -71.0589};
+  const LatLon amherst{42.3732, -72.5199};
+  EXPECT_NEAR(haversine_km(boston, amherst), 120.0, 10.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const LatLon a{10, 20}, b{-30, 150};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const LatLon a{40.0, -100.0}, b{41.0, -100.0};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 1.0);
+}
+
+TEST(Declination, ZeroNearEquinoxMaxNearSolstice) {
+  // March equinox ~ day 80: declination near 0.
+  EXPECT_NEAR(declination_rad(80), 0.0, 2.0 * kDeg2Rad);
+  // June solstice ~ day 172: ~ +23.44 deg.
+  EXPECT_NEAR(declination_rad(172), 23.44 * kDeg2Rad, 0.5 * kDeg2Rad);
+  // December solstice ~ day 355: ~ -23.44 deg.
+  EXPECT_NEAR(declination_rad(355), -23.44 * kDeg2Rad, 0.5 * kDeg2Rad);
+}
+
+TEST(EquationOfTime, StaysInKnownEnvelope) {
+  for (int doy = 1; doy <= 365; ++doy) {
+    const double e = equation_of_time_min(doy);
+    EXPECT_GT(e, -15.0);
+    EXPECT_LT(e, 17.5);
+  }
+  // Early November has the largest positive value (~ +16.5 min).
+  EXPECT_GT(equation_of_time_min(308), 15.0);
+  // Mid-February has the most negative (~ -14 min).
+  EXPECT_LT(equation_of_time_min(45), -13.0);
+}
+
+TEST(SolarTimes, EquinoxDayIsNearTwelveHours) {
+  const LatLon site{42.0, -72.0};
+  const auto times = solar_times_utc(site, CivilDate{2017, 3, 20});
+  EXPECT_NEAR(times.day_length_min(), 12 * 60.0, 15.0);
+  EXPECT_FALSE(times.polar_day);
+  EXPECT_FALSE(times.polar_night);
+}
+
+TEST(SolarTimes, SummerLongerThanWinterInNorth) {
+  const LatLon site{42.0, -72.0};
+  const auto june = solar_times_utc(site, CivilDate{2017, 6, 21});
+  const auto december = solar_times_utc(site, CivilDate{2017, 12, 21});
+  EXPECT_GT(june.day_length_min(), 14.5 * 60.0);
+  EXPECT_LT(december.day_length_min(), 9.5 * 60.0);
+}
+
+TEST(SolarTimes, NoonShiftsWithLongitude) {
+  // 15 degrees of longitude = 60 minutes of solar time.
+  const CivilDate date{2017, 6, 1};
+  const auto east = solar_times_utc(LatLon{40.0, -75.0}, date);
+  const auto west = solar_times_utc(LatLon{40.0, -90.0}, date);
+  EXPECT_NEAR(west.solar_noon_utc_min - east.solar_noon_utc_min, 60.0, 0.5);
+}
+
+TEST(SolarTimes, PolarDayAndNight) {
+  const auto midsummer = solar_times_utc(LatLon{75.0, 0.0}, CivilDate{2017, 6, 21});
+  EXPECT_TRUE(midsummer.polar_day);
+  const auto midwinter =
+      solar_times_utc(LatLon{75.0, 0.0}, CivilDate{2017, 12, 21});
+  EXPECT_TRUE(midwinter.polar_night);
+}
+
+TEST(SolarElevation, PositiveAtNoonNegativeAtMidnight) {
+  const LatLon site{42.0, -72.0};
+  const CivilDate date{2017, 6, 1};
+  const auto times = solar_times_utc(site, date);
+  EXPECT_GT(solar_elevation_rad(site, date, times.solar_noon_utc_min), 0.0);
+  EXPECT_LT(solar_elevation_rad(site, date,
+                                times.solar_noon_utc_min - 720.0),
+            0.0);
+}
+
+TEST(SolarElevation, NearZeroAtSunrise) {
+  const LatLon site{42.0, -72.0};
+  const CivilDate date{2017, 6, 1};
+  const auto times = solar_times_utc(site, date);
+  const double elev = solar_elevation_rad(site, date, times.sunrise_utc_min);
+  // -0.833 deg refraction horizon.
+  EXPECT_NEAR(elev, -0.833 * kDeg2Rad, 0.2 * kDeg2Rad);
+}
+
+TEST(SolarElevation, MaxAtSolarNoon) {
+  const LatLon site{35.0, -100.0};
+  const CivilDate date{2017, 7, 4};
+  const auto times = solar_times_utc(site, date);
+  const double noon = solar_elevation_rad(site, date, times.solar_noon_utc_min);
+  EXPECT_GT(noon, solar_elevation_rad(site, date, times.solar_noon_utc_min - 120));
+  EXPECT_GT(noon, solar_elevation_rad(site, date, times.solar_noon_utc_min + 120));
+}
+
+TEST(Inversion, LongitudeRoundTrip) {
+  for (double lon : {-122.0, -95.5, -71.0}) {
+    for (int doy : {30, 120, 250, 340}) {
+      const CivilDate date = add_days(CivilDate{2017, 1, 1}, doy - 1);
+      const auto times = solar_times_utc(LatLon{40.0, lon}, date);
+      const double recovered =
+          longitude_from_solar_noon(times.solar_noon_utc_min, doy);
+      EXPECT_NEAR(recovered, lon, 0.05) << "lon " << lon << " doy " << doy;
+    }
+  }
+}
+
+TEST(Inversion, LatitudeRoundTrip) {
+  for (double lat : {30.0, 42.5, 55.0}) {
+    for (int doy : {120, 172, 300}) {
+      const CivilDate date = add_days(CivilDate{2017, 1, 1}, doy - 1);
+      const auto times = solar_times_utc(LatLon{lat, -72.0}, date);
+      const double recovered =
+          latitude_from_day_length(times.day_length_min(), doy, true);
+      EXPECT_NEAR(recovered, lat, 0.3) << "lat " << lat << " doy " << doy;
+    }
+  }
+}
+
+TEST(Inversion, SouthernHemisphereHint) {
+  const int doy = 172;  // northern summer = southern winter
+  const CivilDate date = add_days(CivilDate{2017, 1, 1}, doy - 1);
+  const auto times = solar_times_utc(LatLon{-35.0, 150.0}, date);
+  const double recovered =
+      latitude_from_day_length(times.day_length_min(), doy, false);
+  EXPECT_NEAR(recovered, -35.0, 0.5);
+}
+
+TEST(Inversion, RejectsBadDayLength) {
+  EXPECT_THROW(latitude_from_day_length(0.0, 100), InvalidArgument);
+  EXPECT_THROW(latitude_from_day_length(kMinutesPerDay + 0.0, 100),
+               InvalidArgument);
+}
+
+class LatLonSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LatLonSweep, FullRoundTripWithin50Km) {
+  const auto [lat, lon] = GetParam();
+  const int doy = 130;
+  const CivilDate date = add_days(CivilDate{2017, 1, 1}, doy - 1);
+  const auto times = solar_times_utc(LatLon{lat, lon}, date);
+  const double rlon = longitude_from_solar_noon(times.solar_noon_utc_min, doy);
+  const double rlat =
+      latitude_from_day_length(times.day_length_min(), doy, lat >= 0.0);
+  EXPECT_LT(haversine_km(LatLon{lat, lon}, LatLon{rlat, rlon}), 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sites, LatLonSweep,
+    ::testing::Values(std::pair{30.33, -81.66}, std::pair{47.61, -122.33},
+                      std::pair{35.78, -78.64}, std::pair{42.39, -72.53},
+                      std::pair{-33.87, 151.21}, std::pair{51.51, -0.13}));
+
+}  // namespace
+}  // namespace pmiot::geo

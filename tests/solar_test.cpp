@@ -1,0 +1,215 @@
+// Tests for the solar privacy attacks: SunSpot localization, Weatherman
+// weather-correlation localization, and SunDance net-meter disaggregation.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "nilm/error.h"
+#include "solar/sundance.h"
+#include "solar/sunspot.h"
+#include "solar/weatherman.h"
+#include "synth/home.h"
+#include "synth/solar_gen.h"
+
+namespace pmiot::solar {
+namespace {
+
+struct Scene {
+  synth::WeatherField weather;
+  synth::SolarSite site;
+  ts::TimeSeries generation;
+};
+
+Scene make_scene(const geo::LatLon& where, int days = 60,
+                 std::uint64_t seed = 99) {
+  synth::WeatherField weather(synth::WeatherOptions{}, CivilDate{2017, 5, 1},
+                              days, seed);
+  synth::SolarSite site{"s", where, 6.0, 0.85, 1.0, 0.01};
+  Rng rng(7);
+  auto gen =
+      synth::simulate_solar(site, weather, CivilDate{2017, 5, 1}, days, rng);
+  return Scene{std::move(weather), site, std::move(gen)};
+}
+
+TEST(SunSpot, LocalizesEastCoastSite) {
+  const auto scene = make_scene(geo::LatLon{42.39, -72.53});
+  const auto result = sunspot_localize(scene.generation);
+  EXPECT_LT(geo::haversine_km(result.estimate, scene.site.location), 120.0);
+  EXPECT_GT(result.days_used, 30);
+}
+
+TEST(SunSpot, LocalizesWestCoastSiteAcrossUtcWrap) {
+  // A Pacific site's solar day wraps UTC midnight; the phase logic must
+  // handle it.
+  const auto scene = make_scene(geo::LatLon{37.34, -121.89});
+  const auto result = sunspot_localize(scene.generation);
+  EXPECT_LT(geo::haversine_km(result.estimate, scene.site.location), 120.0);
+}
+
+TEST(SunSpot, LongitudeIsTight) {
+  const auto scene = make_scene(geo::LatLon{40.0, -95.0});
+  const auto result = sunspot_localize(scene.generation);
+  EXPECT_NEAR(result.estimate.lon, -95.0, 0.5);
+}
+
+TEST(SunSpot, SignaturesCarryPlausibleDayLengths) {
+  const auto scene = make_scene(geo::LatLon{42.0, -72.0}, 30);
+  const auto result = sunspot_localize(scene.generation);
+  for (const auto& sig : result.signatures) {
+    EXPECT_GT(sig.day_length_min, 8 * 60.0);
+    EXPECT_LT(sig.day_length_min, 18 * 60.0);
+    EXPECT_GT(sig.noon_min, sig.first_gen_min);
+    EXPECT_LT(sig.noon_min, sig.last_gen_min);
+  }
+}
+
+TEST(SunSpot, RejectsDegenerateInput) {
+  ts::TimeSeries flat(ts::TraceMeta{CivilDate{2017, 6, 1}, 0, 60},
+                      std::vector<double>(2 * kMinutesPerDay, 0.0));
+  EXPECT_THROW(sunspot_localize(flat), InvalidArgument);
+}
+
+TEST(SunSpot, WorksOnCoarserData) {
+  // Day-length quantization at 15-minute sampling costs accuracy; the
+  // attack should still land within a few hundred km (and the median filter
+  // must be narrowed so its delay correction matches the coarse grid).
+  const auto scene = make_scene(geo::LatLon{40.0, -90.0});
+  const auto quarter_hour = scene.generation.resample(900);
+  SunSpotOptions options;
+  options.smooth_radius = 1;
+  const auto result = sunspot_localize(quarter_hour, options);
+  EXPECT_LT(geo::haversine_km(result.estimate, scene.site.location), 500.0);
+}
+
+TEST(Weatherman, BeatsStationSpacing) {
+  const auto scene = make_scene(geo::LatLon{39.5, -96.5}, 60, 5);
+  const auto stations = synth::make_station_grid(synth::WeatherOptions{}, 20, 30);
+  std::vector<StationObservation> observations;
+  for (const auto& st : stations) {
+    observations.push_back(
+        {st.name, st.location, scene.weather.cloud_series(st.location)});
+  }
+  const auto hourly = scene.generation.resample(3600);
+  const auto result = weatherman_localize(hourly, geo::LatLon{40.0, -95.0},
+                                          observations);
+  // Station spacing here is ~100 km; the attack should do clearly better.
+  EXPECT_LT(geo::haversine_km(result.estimate, scene.site.location), 80.0);
+  EXPECT_GT(result.best_correlation, 0.7);
+  EXPECT_EQ(result.station_correlations.size(), observations.size());
+}
+
+TEST(Weatherman, CorrelationPeaksNearTheSite) {
+  const auto scene = make_scene(geo::LatLon{42.0, -72.5}, 45, 6);
+  const auto stations =
+      synth::make_station_grid(synth::WeatherOptions{}, 10, 14);
+  std::vector<StationObservation> observations;
+  for (const auto& st : stations) {
+    observations.push_back(
+        {st.name, st.location, scene.weather.cloud_series(st.location)});
+  }
+  const auto hourly = scene.generation.resample(3600);
+  const auto result =
+      weatherman_localize(hourly, geo::LatLon{42.0, -72.0}, observations);
+  // The best station must be among the ones closest to the site.
+  double best_distance = 1e9;
+  for (std::size_t s = 0; s < observations.size(); ++s) {
+    if (observations[s].name == result.best_station) {
+      best_distance =
+          geo::haversine_km(observations[s].location, scene.site.location);
+    }
+  }
+  EXPECT_LT(best_distance, 500.0);
+}
+
+TEST(Weatherman, RequiresHourlyData) {
+  const auto scene = make_scene(geo::LatLon{40.0, -90.0}, 30);
+  std::vector<StationObservation> observations{
+      {"st", {40.0, -90.0}, scene.weather.cloud_series({40.0, -90.0})}};
+  EXPECT_THROW(weatherman_localize(scene.generation, scene.site.location,
+                                   observations),
+               InvalidArgument);
+}
+
+TEST(Weatherman, RequiresStationCoverage) {
+  const auto scene = make_scene(geo::LatLon{40.0, -90.0}, 30);
+  const auto hourly = scene.generation.resample(3600);
+  std::vector<StationObservation> short_station{
+      {"st", {40.0, -90.0}, std::vector<double>(10, 0.5)}};
+  EXPECT_THROW(
+      weatherman_localize(hourly, scene.site.location, short_station),
+      InvalidArgument);
+}
+
+// --- SunDance ------------------------------------------------------------------
+
+TEST(SunDance, RecoversGenerationAndConsumption) {
+  const auto scene = make_scene(geo::LatLon{42.39, -72.53}, 30, 12);
+  Rng rng(13);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 5, 1}, 30, rng);
+  auto net = home.aggregate;
+  net -= scene.generation;
+
+  const auto clouds = scene.weather.cloud_series(scene.site.location);
+  const auto result =
+      sundance_disaggregate(net, scene.site.location, clouds);
+
+  EXPECT_NEAR(result.scale_kw, scene.site.capacity_kw * scene.site.derate,
+              1.2);
+  const double gen_err = nilm::disaggregation_error(
+      result.generation_estimate.values(), scene.generation.values());
+  EXPECT_LT(gen_err, 0.25);
+  const double cons_err = nilm::disaggregation_error(
+      result.consumption_estimate.values(), home.aggregate.values());
+  EXPECT_LT(cons_err, 0.45);
+}
+
+TEST(SunDance, WorksWithoutWeather) {
+  const auto scene = make_scene(geo::LatLon{40.0, -85.0}, 30, 14);
+  Rng rng(15);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 5, 1}, 30, rng);
+  auto net = home.aggregate;
+  net -= scene.generation;
+  const auto result = sundance_disaggregate(net, scene.site.location);
+  // Without weather the envelope is clear-sky only: rougher but sane.
+  const double gen_err = nilm::disaggregation_error(
+      result.generation_estimate.values(), scene.generation.values());
+  EXPECT_LT(gen_err, 0.7);
+}
+
+TEST(SunDance, ConsumptionIsNonNegative) {
+  const auto scene = make_scene(geo::LatLon{35.0, -110.0}, 20, 16);
+  Rng rng(17);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 5, 1}, 20, rng);
+  auto net = home.aggregate;
+  net -= scene.generation;
+  const auto result = sundance_disaggregate(net, scene.site.location);
+  for (std::size_t i = 0; i < result.consumption_estimate.size(); ++i) {
+    EXPECT_GE(result.consumption_estimate[i], 0.0);
+  }
+}
+
+TEST(ApparentGeneration, RestoresShoulders) {
+  const auto scene = make_scene(geo::LatLon{42.39, -72.53}, 20, 18);
+  Rng rng(19);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 5, 1}, 20, rng);
+  auto net = home.aggregate;
+  net -= scene.generation;
+  const auto apparent = apparent_generation(net);
+  // Apparent generation correlates strongly with true generation.
+  EXPECT_GT(stats::pearson(apparent.values(), scene.generation.values()),
+            0.9);
+}
+
+TEST(ApparentGeneration, RejectsNoSolarSignal) {
+  Rng rng(20);
+  const auto home =
+      synth::simulate_home(synth::home_a(), CivilDate{2017, 5, 1}, 3, rng);
+  EXPECT_THROW(apparent_generation(home.aggregate), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pmiot::solar

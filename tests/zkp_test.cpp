@@ -1,0 +1,354 @@
+// Tests for the privacy-preserving smart meter stack: modular arithmetic,
+// SHA-256, Pedersen commitments, sigma proofs, and verifiable billing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "zkp/meter.h"
+#include "zkp/modmath.h"
+#include "zkp/pedersen.h"
+#include "zkp/proofs.h"
+#include "zkp/sha256.h"
+
+namespace pmiot::zkp {
+namespace {
+
+// --- modular arithmetic --------------------------------------------------------
+
+TEST(ModMath, MulmodMatchesSmallCases) {
+  EXPECT_EQ(mulmod(7, 9, 10), 3u);
+  EXPECT_EQ(mulmod(0, 12345, 7), 0u);
+  // Overflow territory: (2^62) * 3 mod (2^61-1).
+  const u64 big = 1ULL << 62;
+  const u64 m = (1ULL << 61) - 1;
+  EXPECT_EQ(mulmod(big, 3, m), static_cast<u64>((static_cast<unsigned __int128>(big) * 3) % m));
+}
+
+TEST(ModMath, PowmodKnownValues) {
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(5, 0, 7), 1u);
+  // Fermat: a^(p-1) = 1 mod p.
+  const u64 p = 1000000007ULL;
+  EXPECT_EQ(powmod(123456789ULL, p - 1, p), 1u);
+}
+
+TEST(ModMath, InvmodRoundTrips) {
+  const u64 m = 1000000007ULL;
+  for (u64 a : {2ULL, 3ULL, 999999999ULL, 123456789ULL}) {
+    EXPECT_EQ(mulmod(a, invmod(a, m), m), 1u);
+  }
+  EXPECT_THROW(invmod(6, 9), InvalidArgument);  // gcd 3
+}
+
+TEST(ModMath, AddSubMod) {
+  EXPECT_EQ(addmod(8, 9, 10), 7u);
+  EXPECT_EQ(submod(3, 9, 10), 4u);
+  // Near-overflow addition.
+  const u64 m = ~0ULL - 58;
+  EXPECT_EQ(addmod(m - 1, m - 2, m), m - 3);
+}
+
+TEST(ModMath, MillerRabinKnownPrimes) {
+  for (u64 p : {2ULL, 3ULL, 61ULL, 2147483647ULL, 1000000007ULL,
+                2305843009213693951ULL /* 2^61-1 */}) {
+    EXPECT_TRUE(is_prime(p)) << p;
+  }
+  for (u64 c : {1ULL, 4ULL, 561ULL /* Carmichael */, 1000000008ULL,
+                2147483649ULL}) {
+    EXPECT_FALSE(is_prime(c)) << c;
+  }
+}
+
+TEST(ModMath, SafePrimeHasPrimeHalf) {
+  const u64 p = next_safe_prime(1000);
+  EXPECT_TRUE(is_prime(p));
+  EXPECT_TRUE(is_prime((p - 1) / 2));
+  EXPECT_GE(p, 1000u);
+  EXPECT_EQ(next_safe_prime(5), 5u);  // 5 = 2*2+1, both prime
+}
+
+// --- SHA-256 ------------------------------------------------------------------
+
+std::string hex(const std::array<std::uint8_t, 32>& d) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (auto b : d) {
+    out += digits[b >> 4];
+    out += digits[b & 0xf];
+  }
+  return out;
+}
+
+TEST(Sha256, EmptyStringKat) {
+  Sha256 h;
+  EXPECT_EQ(hex(h.digest()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcKat) {
+  EXPECT_EQ(hex(Sha256::hash("abc", 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockKat) {
+  const std::string msg =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(hex(Sha256::hash(msg.data(), msg.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.digest()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 a;
+  a.update("hello ").update("world");
+  const auto one_shot = Sha256::hash("hello world", 11);
+  EXPECT_EQ(hex(a.digest()), hex(one_shot));
+}
+
+TEST(Sha256, DigestTwiceThrows) {
+  Sha256 h;
+  h.digest();
+  EXPECT_THROW(h.digest(), InvalidArgument);
+}
+
+TEST(Sha256, TruncatedTakesLeadingBytes) {
+  std::array<std::uint8_t, 32> d{};
+  d[0] = 0x01;
+  d[7] = 0xff;
+  EXPECT_EQ(Sha256::truncated(d), 0x01000000000000ffULL);
+}
+
+// --- Pedersen ------------------------------------------------------------------
+
+GroupParams test_params() { return GroupParams::generate(40, 7); }
+
+TEST(Pedersen, ParametersAreWellFormed) {
+  const auto params = test_params();
+  EXPECT_TRUE(is_prime(params.p));
+  EXPECT_TRUE(is_prime(params.q));
+  EXPECT_EQ(params.p, 2 * params.q + 1);
+  EXPECT_TRUE(params.in_group(params.g));
+  EXPECT_TRUE(params.in_group(params.h));
+  EXPECT_NE(params.g, params.h);
+}
+
+TEST(Pedersen, CommitmentIsHomomorphic) {
+  const auto params = test_params();
+  Rng rng(1);
+  const u64 m1 = 123, m2 = 456;
+  const u64 r1 = random_scalar(params, rng), r2 = random_scalar(params, rng);
+  const u64 c1 = commit(params, m1, r1);
+  const u64 c2 = commit(params, m2, r2);
+  EXPECT_EQ(mulmod(c1, c2, params.p),
+            commit(params, m1 + m2, addmod(r1, r2, params.q)));
+}
+
+TEST(Pedersen, DifferentRandomnessHidesMessage) {
+  const auto params = test_params();
+  Rng rng(2);
+  const u64 c1 = commit(params, 42, random_scalar(params, rng));
+  const u64 c2 = commit(params, 42, random_scalar(params, rng));
+  EXPECT_NE(c1, c2);
+}
+
+TEST(Pedersen, ScalarExponentHomomorphism) {
+  const auto params = test_params();
+  Rng rng(3);
+  const u64 m = 10, r = random_scalar(params, rng);
+  const u64 c = commit(params, m, r);
+  // c^5 = commit(5m, 5r)
+  EXPECT_EQ(powmod(c, 5, params.p),
+            commit(params, 5 * m, mulmod(5, r, params.q)));
+}
+
+TEST(Pedersen, GroupMembership) {
+  const auto params = test_params();
+  EXPECT_FALSE(params.in_group(0));
+  EXPECT_FALSE(params.in_group(params.p));
+  EXPECT_TRUE(params.in_group(1));
+}
+
+// --- proofs --------------------------------------------------------------------
+
+TEST(Proofs, OpeningAcceptsHonestProver) {
+  const auto params = test_params();
+  Rng rng(4);
+  const u64 m = 777, r = random_scalar(params, rng);
+  const u64 c = commit(params, m, r);
+  const auto proof = prove_opening(params, m, r, rng);
+  EXPECT_TRUE(verify_opening(params, c, proof));
+}
+
+TEST(Proofs, OpeningRejectsWrongCommitment) {
+  const auto params = test_params();
+  Rng rng(5);
+  const u64 m = 777, r = random_scalar(params, rng);
+  const auto proof = prove_opening(params, m, r, rng);
+  const u64 other = commit(params, m + 1, r);
+  EXPECT_FALSE(verify_opening(params, other, proof));
+}
+
+TEST(Proofs, OpeningRejectsTamperedResponses) {
+  const auto params = test_params();
+  Rng rng(6);
+  const u64 m = 9, r = random_scalar(params, rng);
+  const u64 c = commit(params, m, r);
+  auto proof = prove_opening(params, m, r, rng);
+  proof.sm = addmod(proof.sm, 1, params.q);
+  EXPECT_FALSE(verify_opening(params, c, proof));
+}
+
+TEST(Proofs, BitProofBothValues) {
+  const auto params = test_params();
+  Rng rng(7);
+  for (int bit : {0, 1}) {
+    const u64 r = random_scalar(params, rng);
+    const u64 c = commit(params, static_cast<u64>(bit), r);
+    const auto proof = prove_bit(params, bit, r, rng);
+    EXPECT_TRUE(verify_bit(params, c, proof)) << "bit " << bit;
+  }
+}
+
+TEST(Proofs, BitProofRejectsNonBit) {
+  const auto params = test_params();
+  Rng rng(8);
+  const u64 r = random_scalar(params, rng);
+  // A commitment to 2 cannot satisfy either branch.
+  const u64 c2 = commit(params, 2, r);
+  const auto proof = prove_bit(params, 1, r, rng);  // proof for a 1-commit
+  EXPECT_FALSE(verify_bit(params, c2, proof));
+  EXPECT_THROW(prove_bit(params, 2, r, rng), InvalidArgument);
+}
+
+TEST(Proofs, BitProofRejectsChallengeTampering) {
+  const auto params = test_params();
+  Rng rng(9);
+  const u64 r = random_scalar(params, rng);
+  const u64 c = commit(params, 1, r);
+  auto proof = prove_bit(params, 1, r, rng);
+  proof.c0 = addmod(proof.c0, 1, params.q);
+  EXPECT_FALSE(verify_bit(params, c, proof));
+}
+
+TEST(Proofs, RangeProofAcceptsInRange) {
+  const auto params = test_params();
+  Rng rng(10);
+  for (u64 m : {0ULL, 1ULL, 255ULL, 65535ULL}) {
+    const u64 r = random_scalar(params, rng);
+    const u64 c = commit(params, m, r);
+    const auto proof = prove_range(params, m, r, 16, rng);
+    EXPECT_TRUE(verify_range(params, c, proof)) << m;
+  }
+}
+
+TEST(Proofs, RangeProofRejectsOutOfRangeAtProveTime) {
+  const auto params = test_params();
+  Rng rng(11);
+  const u64 r = random_scalar(params, rng);
+  EXPECT_THROW(prove_range(params, 70000, r, 16, rng), InvalidArgument);
+}
+
+TEST(Proofs, RangeProofBindsToCommitment) {
+  const auto params = test_params();
+  Rng rng(12);
+  const u64 r = random_scalar(params, rng);
+  const auto proof = prove_range(params, 100, r, 16, rng);
+  const u64 wrong = commit(params, 101, r);
+  EXPECT_FALSE(verify_range(params, wrong, proof));
+}
+
+TEST(Proofs, SizesAreReported) {
+  const auto params = test_params();
+  Rng rng(13);
+  const u64 r = random_scalar(params, rng);
+  const auto range = prove_range(params, 100, r, 16, rng);
+  EXPECT_EQ(proof_size_bytes(range), 16u * 8 + 16u * 48 + 8);
+  EXPECT_EQ(proof_size_bytes(OpeningProof{}), 24u);
+  EXPECT_EQ(proof_size_bytes(BitProof{}), 48u);
+}
+
+// --- meter ---------------------------------------------------------------------
+
+TEST(Meter, BillVerifiesAgainstCommitments) {
+  const auto params = test_params();
+  PrivateMeter meter(params, 21);
+  const std::vector<u64> readings{100, 0, 2500, 740, 333};
+  for (u64 wh : readings) meter.record(wh);
+  const auto prices = time_of_use_prices(readings.size(), 3600, 12, 30);
+  const auto response = meter.bill_response(prices);
+  u64 expected = 0;
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    expected += prices[i] * readings[i];
+  }
+  EXPECT_EQ(response.bill, expected);
+  EXPECT_TRUE(verify_bill(params, meter.commitments(), prices, response));
+}
+
+TEST(Meter, TamperedBillRejected) {
+  const auto params = test_params();
+  PrivateMeter meter(params, 22);
+  for (u64 wh : {10ULL, 20ULL, 30ULL}) meter.record(wh);
+  const std::vector<u64> prices{1, 1, 1};
+  auto response = meter.bill_response(prices);
+  response.bill += 1;  // meter tries to shave a watt-hour
+  EXPECT_FALSE(verify_bill(params, meter.commitments(), prices, response));
+}
+
+TEST(Meter, TamperedCommitmentRejected) {
+  const auto params = test_params();
+  PrivateMeter meter(params, 23);
+  for (u64 wh : {10ULL, 20ULL}) meter.record(wh);
+  const std::vector<u64> prices{2, 3};
+  const auto response = meter.bill_response(prices);
+  std::vector<u64> commitments(meter.commitments().begin(),
+                               meter.commitments().end());
+  commitments[0] = mulmod(commitments[0], params.g, params.p);
+  EXPECT_FALSE(verify_bill(params, commitments, prices, response));
+}
+
+TEST(Meter, RangeProofsCoverReadings) {
+  const auto params = test_params();
+  PrivateMeter meter(params, 24);
+  meter.record(4321);
+  Rng rng(25);
+  const auto proof = meter.range_proof(0, 16, rng);
+  EXPECT_TRUE(verify_range(params, meter.commitments()[0], proof));
+}
+
+TEST(Meter, RejectsOversizedReading) {
+  const auto params = test_params();
+  PrivateMeter meter(params, 26);
+  EXPECT_THROW(meter.record(1ULL << 16), InvalidArgument);
+}
+
+TEST(Meter, TimeOfUsePricing) {
+  // 24 hourly intervals: peak (16:00-21:00) costs more.
+  const auto prices = time_of_use_prices(24, 3600, 10, 25);
+  EXPECT_EQ(prices[12], 10u);
+  EXPECT_EQ(prices[17], 25u);
+  EXPECT_EQ(prices[21], 10u);
+}
+
+class GroupBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupBits, ProtocolWorksAcrossGroupSizes) {
+  const auto params = GroupParams::generate(GetParam(), 31);
+  PrivateMeter meter(params, 32);
+  for (u64 wh : {500ULL, 1500ULL, 0ULL}) meter.record(wh);
+  const std::vector<u64> prices{3, 1, 7};
+  const auto response = meter.bill_response(prices);
+  EXPECT_TRUE(verify_bill(params, meter.commitments(), prices, response));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, GroupBits, ::testing::Values(32, 40, 50, 62));
+
+}  // namespace
+}  // namespace pmiot::zkp
