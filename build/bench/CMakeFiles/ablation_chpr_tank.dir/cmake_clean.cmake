@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chpr_tank.dir/ablation_chpr_tank.cpp.o"
+  "CMakeFiles/ablation_chpr_tank.dir/ablation_chpr_tank.cpp.o.d"
+  "ablation_chpr_tank"
+  "ablation_chpr_tank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chpr_tank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

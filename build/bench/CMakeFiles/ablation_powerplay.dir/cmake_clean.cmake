@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_powerplay.dir/ablation_powerplay.cpp.o"
+  "CMakeFiles/ablation_powerplay.dir/ablation_powerplay.cpp.o.d"
+  "ablation_powerplay"
+  "ablation_powerplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_powerplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sunspot_season.dir/ablation_sunspot_season.cpp.o"
+  "CMakeFiles/ablation_sunspot_season.dir/ablation_sunspot_season.cpp.o.d"
+  "ablation_sunspot_season"
+  "ablation_sunspot_season.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sunspot_season.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weatherman.dir/ablation_weatherman.cpp.o"
+  "CMakeFiles/ablation_weatherman.dir/ablation_weatherman.cpp.o.d"
+  "ablation_weatherman"
+  "ablation_weatherman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weatherman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_tradeoff.dir/dp_tradeoff.cpp.o"
+  "CMakeFiles/dp_tradeoff.dir/dp_tradeoff.cpp.o.d"
+  "dp_tradeoff"
+  "dp_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

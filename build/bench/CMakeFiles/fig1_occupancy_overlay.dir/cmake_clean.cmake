@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_occupancy_overlay.dir/fig1_occupancy_overlay.cpp.o"
+  "CMakeFiles/fig1_occupancy_overlay.dir/fig1_occupancy_overlay.cpp.o.d"
+  "fig1_occupancy_overlay"
+  "fig1_occupancy_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_occupancy_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

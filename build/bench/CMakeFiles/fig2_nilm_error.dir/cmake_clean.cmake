@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_nilm_error.dir/fig2_nilm_error.cpp.o"
+  "CMakeFiles/fig2_nilm_error.dir/fig2_nilm_error.cpp.o.d"
+  "fig2_nilm_error"
+  "fig2_nilm_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_nilm_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

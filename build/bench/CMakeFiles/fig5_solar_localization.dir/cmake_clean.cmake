@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_solar_localization.dir/fig5_solar_localization.cpp.o"
+  "CMakeFiles/fig5_solar_localization.dir/fig5_solar_localization.cpp.o.d"
+  "fig5_solar_localization"
+  "fig5_solar_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_solar_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_chpr.cpp" "bench/CMakeFiles/fig6_chpr.dir/fig6_chpr.cpp.o" "gcc" "bench/CMakeFiles/fig6_chpr.dir/fig6_chpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmiot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmiot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/zkp/CMakeFiles/pmiot_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/pmiot_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/pmiot_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/nilm/CMakeFiles/pmiot_nilm.dir/DependInfo.cmake"
+  "/root/repo/build/src/niom/CMakeFiles/pmiot_niom.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pmiot_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmiot_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pmiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmiot_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

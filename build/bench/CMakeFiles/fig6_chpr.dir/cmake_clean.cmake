@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_chpr.dir/fig6_chpr.cpp.o"
+  "CMakeFiles/fig6_chpr.dir/fig6_chpr.cpp.o.d"
+  "fig6_chpr"
+  "fig6_chpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_chpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

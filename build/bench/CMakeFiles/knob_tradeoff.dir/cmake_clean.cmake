@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knob_tradeoff.dir/knob_tradeoff.cpp.o"
+  "CMakeFiles/knob_tradeoff.dir/knob_tradeoff.cpp.o.d"
+  "knob_tradeoff"
+  "knob_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knob_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

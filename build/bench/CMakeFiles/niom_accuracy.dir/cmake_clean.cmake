@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niom_accuracy.dir/niom_accuracy.cpp.o"
+  "CMakeFiles/niom_accuracy.dir/niom_accuracy.cpp.o.d"
+  "niom_accuracy"
+  "niom_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niom_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3d_local_services.dir/sec3d_local_services.cpp.o"
+  "CMakeFiles/sec3d_local_services.dir/sec3d_local_services.cpp.o.d"
+  "sec3d_local_services"
+  "sec3d_local_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3d_local_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_traffic_fingerprint.dir/sec4_traffic_fingerprint.cpp.o"
+  "CMakeFiles/sec4_traffic_fingerprint.dir/sec4_traffic_fingerprint.cpp.o.d"
+  "sec4_traffic_fingerprint"
+  "sec4_traffic_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_traffic_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

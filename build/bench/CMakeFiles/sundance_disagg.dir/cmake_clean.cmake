@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sundance_disagg.dir/sundance_disagg.cpp.o"
+  "CMakeFiles/sundance_disagg.dir/sundance_disagg.cpp.o.d"
+  "sundance_disagg"
+  "sundance_disagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sundance_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

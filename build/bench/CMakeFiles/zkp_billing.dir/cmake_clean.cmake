@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkp_billing.dir/zkp_billing.cpp.o"
+  "CMakeFiles/zkp_billing.dir/zkp_billing.cpp.o.d"
+  "zkp_billing"
+  "zkp_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkp_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_monitor.dir/gateway_monitor.cpp.o"
+  "CMakeFiles/gateway_monitor.dir/gateway_monitor.cpp.o.d"
+  "gateway_monitor"
+  "gateway_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

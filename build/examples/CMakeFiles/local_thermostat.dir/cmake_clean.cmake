@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_thermostat.dir/local_thermostat.cpp.o"
+  "CMakeFiles/local_thermostat.dir/local_thermostat.cpp.o.d"
+  "local_thermostat"
+  "local_thermostat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_thermostat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_defense.dir/occupancy_defense.cpp.o"
+  "CMakeFiles/occupancy_defense.dir/occupancy_defense.cpp.o.d"
+  "occupancy_defense"
+  "occupancy_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_billing.dir/private_billing.cpp.o"
+  "CMakeFiles/private_billing.dir/private_billing.cpp.o.d"
+  "private_billing"
+  "private_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_privacy.dir/solar_privacy.cpp.o"
+  "CMakeFiles/solar_privacy.dir/solar_privacy.cpp.o.d"
+  "solar_privacy"
+  "solar_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("timeseries")
+subdirs("ml")
+subdirs("geo")
+subdirs("synth")
+subdirs("niom")
+subdirs("nilm")
+subdirs("solar")
+subdirs("defense")
+subdirs("zkp")
+subdirs("net")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_common.dir/civil_time.cpp.o"
+  "CMakeFiles/pmiot_common.dir/civil_time.cpp.o.d"
+  "CMakeFiles/pmiot_common.dir/rng.cpp.o"
+  "CMakeFiles/pmiot_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pmiot_common.dir/stats.cpp.o"
+  "CMakeFiles/pmiot_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pmiot_common.dir/table.cpp.o"
+  "CMakeFiles/pmiot_common.dir/table.cpp.o.d"
+  "libpmiot_common.a"
+  "libpmiot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_core.dir/local_service.cpp.o"
+  "CMakeFiles/pmiot_core.dir/local_service.cpp.o.d"
+  "CMakeFiles/pmiot_core.dir/privacy.cpp.o"
+  "CMakeFiles/pmiot_core.dir/privacy.cpp.o.d"
+  "libpmiot_core.a"
+  "libpmiot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/battery.cpp" "src/defense/CMakeFiles/pmiot_defense.dir/battery.cpp.o" "gcc" "src/defense/CMakeFiles/pmiot_defense.dir/battery.cpp.o.d"
+  "/root/repo/src/defense/chpr.cpp" "src/defense/CMakeFiles/pmiot_defense.dir/chpr.cpp.o" "gcc" "src/defense/CMakeFiles/pmiot_defense.dir/chpr.cpp.o.d"
+  "/root/repo/src/defense/dp.cpp" "src/defense/CMakeFiles/pmiot_defense.dir/dp.cpp.o" "gcc" "src/defense/CMakeFiles/pmiot_defense.dir/dp.cpp.o.d"
+  "/root/repo/src/defense/obfuscation.cpp" "src/defense/CMakeFiles/pmiot_defense.dir/obfuscation.cpp.o" "gcc" "src/defense/CMakeFiles/pmiot_defense.dir/obfuscation.cpp.o.d"
+  "/root/repo/src/defense/water_heater.cpp" "src/defense/CMakeFiles/pmiot_defense.dir/water_heater.cpp.o" "gcc" "src/defense/CMakeFiles/pmiot_defense.dir/water_heater.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmiot_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pmiot_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmiot_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

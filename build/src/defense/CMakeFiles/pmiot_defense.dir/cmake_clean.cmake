@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_defense.dir/battery.cpp.o"
+  "CMakeFiles/pmiot_defense.dir/battery.cpp.o.d"
+  "CMakeFiles/pmiot_defense.dir/chpr.cpp.o"
+  "CMakeFiles/pmiot_defense.dir/chpr.cpp.o.d"
+  "CMakeFiles/pmiot_defense.dir/dp.cpp.o"
+  "CMakeFiles/pmiot_defense.dir/dp.cpp.o.d"
+  "CMakeFiles/pmiot_defense.dir/obfuscation.cpp.o"
+  "CMakeFiles/pmiot_defense.dir/obfuscation.cpp.o.d"
+  "CMakeFiles/pmiot_defense.dir/water_heater.cpp.o"
+  "CMakeFiles/pmiot_defense.dir/water_heater.cpp.o.d"
+  "libpmiot_defense.a"
+  "libpmiot_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

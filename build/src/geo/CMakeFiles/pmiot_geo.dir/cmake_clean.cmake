@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_geo.dir/solar_geometry.cpp.o"
+  "CMakeFiles/pmiot_geo.dir/solar_geometry.cpp.o.d"
+  "libpmiot_geo.a"
+  "libpmiot_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

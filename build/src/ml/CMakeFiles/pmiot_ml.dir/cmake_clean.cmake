@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_ml.dir/dataset.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/fhmm.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/fhmm.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/hmm.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/hmm.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/knn.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/logistic.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/metrics.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/pmiot_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/pmiot_ml.dir/random_forest.cpp.o.d"
+  "libpmiot_ml.a"
+  "libpmiot_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/anomaly.cpp" "src/net/CMakeFiles/pmiot_net.dir/anomaly.cpp.o" "gcc" "src/net/CMakeFiles/pmiot_net.dir/anomaly.cpp.o.d"
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/pmiot_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/pmiot_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/device.cpp" "src/net/CMakeFiles/pmiot_net.dir/device.cpp.o" "gcc" "src/net/CMakeFiles/pmiot_net.dir/device.cpp.o.d"
+  "/root/repo/src/net/features.cpp" "src/net/CMakeFiles/pmiot_net.dir/features.cpp.o" "gcc" "src/net/CMakeFiles/pmiot_net.dir/features.cpp.o.d"
+  "/root/repo/src/net/fingerprint.cpp" "src/net/CMakeFiles/pmiot_net.dir/fingerprint.cpp.o" "gcc" "src/net/CMakeFiles/pmiot_net.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/net/gateway.cpp" "src/net/CMakeFiles/pmiot_net.dir/gateway.cpp.o" "gcc" "src/net/CMakeFiles/pmiot_net.dir/gateway.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/pmiot_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/pmiot_net.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pmiot_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_net.dir/anomaly.cpp.o"
+  "CMakeFiles/pmiot_net.dir/anomaly.cpp.o.d"
+  "CMakeFiles/pmiot_net.dir/capture.cpp.o"
+  "CMakeFiles/pmiot_net.dir/capture.cpp.o.d"
+  "CMakeFiles/pmiot_net.dir/device.cpp.o"
+  "CMakeFiles/pmiot_net.dir/device.cpp.o.d"
+  "CMakeFiles/pmiot_net.dir/features.cpp.o"
+  "CMakeFiles/pmiot_net.dir/features.cpp.o.d"
+  "CMakeFiles/pmiot_net.dir/fingerprint.cpp.o"
+  "CMakeFiles/pmiot_net.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/pmiot_net.dir/gateway.cpp.o"
+  "CMakeFiles/pmiot_net.dir/gateway.cpp.o.d"
+  "CMakeFiles/pmiot_net.dir/packet.cpp.o"
+  "CMakeFiles/pmiot_net.dir/packet.cpp.o.d"
+  "libpmiot_net.a"
+  "libpmiot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_nilm.dir/error.cpp.o"
+  "CMakeFiles/pmiot_nilm.dir/error.cpp.o.d"
+  "CMakeFiles/pmiot_nilm.dir/fhmm_nilm.cpp.o"
+  "CMakeFiles/pmiot_nilm.dir/fhmm_nilm.cpp.o.d"
+  "CMakeFiles/pmiot_nilm.dir/powerplay.cpp.o"
+  "CMakeFiles/pmiot_nilm.dir/powerplay.cpp.o.d"
+  "libpmiot_nilm.a"
+  "libpmiot_nilm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_nilm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/niom/detector.cpp" "src/niom/CMakeFiles/pmiot_niom.dir/detector.cpp.o" "gcc" "src/niom/CMakeFiles/pmiot_niom.dir/detector.cpp.o.d"
+  "/root/repo/src/niom/evaluate.cpp" "src/niom/CMakeFiles/pmiot_niom.dir/evaluate.cpp.o" "gcc" "src/niom/CMakeFiles/pmiot_niom.dir/evaluate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmiot_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pmiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pmiot_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmiot_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_niom.dir/detector.cpp.o"
+  "CMakeFiles/pmiot_niom.dir/detector.cpp.o.d"
+  "CMakeFiles/pmiot_niom.dir/evaluate.cpp.o"
+  "CMakeFiles/pmiot_niom.dir/evaluate.cpp.o.d"
+  "libpmiot_niom.a"
+  "libpmiot_niom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_niom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

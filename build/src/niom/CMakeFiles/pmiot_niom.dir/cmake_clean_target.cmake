@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmiot_niom.a"
+)

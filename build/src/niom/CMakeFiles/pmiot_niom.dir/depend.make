@@ -1,0 +1,2 @@
+# Empty dependencies file for pmiot_niom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solar/sundance.cpp" "src/solar/CMakeFiles/pmiot_solar.dir/sundance.cpp.o" "gcc" "src/solar/CMakeFiles/pmiot_solar.dir/sundance.cpp.o.d"
+  "/root/repo/src/solar/sunspot.cpp" "src/solar/CMakeFiles/pmiot_solar.dir/sunspot.cpp.o" "gcc" "src/solar/CMakeFiles/pmiot_solar.dir/sunspot.cpp.o.d"
+  "/root/repo/src/solar/weatherman.cpp" "src/solar/CMakeFiles/pmiot_solar.dir/weatherman.cpp.o" "gcc" "src/solar/CMakeFiles/pmiot_solar.dir/weatherman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmiot_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmiot_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pmiot_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

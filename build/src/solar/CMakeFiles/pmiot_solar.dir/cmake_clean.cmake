@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_solar.dir/sundance.cpp.o"
+  "CMakeFiles/pmiot_solar.dir/sundance.cpp.o.d"
+  "CMakeFiles/pmiot_solar.dir/sunspot.cpp.o"
+  "CMakeFiles/pmiot_solar.dir/sunspot.cpp.o.d"
+  "CMakeFiles/pmiot_solar.dir/weatherman.cpp.o"
+  "CMakeFiles/pmiot_solar.dir/weatherman.cpp.o.d"
+  "libpmiot_solar.a"
+  "libpmiot_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

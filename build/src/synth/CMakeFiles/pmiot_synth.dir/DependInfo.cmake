@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/appliance.cpp" "src/synth/CMakeFiles/pmiot_synth.dir/appliance.cpp.o" "gcc" "src/synth/CMakeFiles/pmiot_synth.dir/appliance.cpp.o.d"
+  "/root/repo/src/synth/home.cpp" "src/synth/CMakeFiles/pmiot_synth.dir/home.cpp.o" "gcc" "src/synth/CMakeFiles/pmiot_synth.dir/home.cpp.o.d"
+  "/root/repo/src/synth/occupancy.cpp" "src/synth/CMakeFiles/pmiot_synth.dir/occupancy.cpp.o" "gcc" "src/synth/CMakeFiles/pmiot_synth.dir/occupancy.cpp.o.d"
+  "/root/repo/src/synth/solar_gen.cpp" "src/synth/CMakeFiles/pmiot_synth.dir/solar_gen.cpp.o" "gcc" "src/synth/CMakeFiles/pmiot_synth.dir/solar_gen.cpp.o.d"
+  "/root/repo/src/synth/weather.cpp" "src/synth/CMakeFiles/pmiot_synth.dir/weather.cpp.o" "gcc" "src/synth/CMakeFiles/pmiot_synth.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmiot_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmiot_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

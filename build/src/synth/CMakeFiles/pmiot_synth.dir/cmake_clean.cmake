@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_synth.dir/appliance.cpp.o"
+  "CMakeFiles/pmiot_synth.dir/appliance.cpp.o.d"
+  "CMakeFiles/pmiot_synth.dir/home.cpp.o"
+  "CMakeFiles/pmiot_synth.dir/home.cpp.o.d"
+  "CMakeFiles/pmiot_synth.dir/occupancy.cpp.o"
+  "CMakeFiles/pmiot_synth.dir/occupancy.cpp.o.d"
+  "CMakeFiles/pmiot_synth.dir/solar_gen.cpp.o"
+  "CMakeFiles/pmiot_synth.dir/solar_gen.cpp.o.d"
+  "CMakeFiles/pmiot_synth.dir/weather.cpp.o"
+  "CMakeFiles/pmiot_synth.dir/weather.cpp.o.d"
+  "libpmiot_synth.a"
+  "libpmiot_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/ascii_plot.cpp" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/ascii_plot.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/timeseries/edges.cpp" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/edges.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/edges.cpp.o.d"
+  "/root/repo/src/timeseries/timeseries.cpp" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/timeseries.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/timeseries.cpp.o.d"
+  "/root/repo/src/timeseries/trace_io.cpp" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/trace_io.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmiot_timeseries.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_timeseries.dir/ascii_plot.cpp.o"
+  "CMakeFiles/pmiot_timeseries.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/pmiot_timeseries.dir/edges.cpp.o"
+  "CMakeFiles/pmiot_timeseries.dir/edges.cpp.o.d"
+  "CMakeFiles/pmiot_timeseries.dir/timeseries.cpp.o"
+  "CMakeFiles/pmiot_timeseries.dir/timeseries.cpp.o.d"
+  "CMakeFiles/pmiot_timeseries.dir/trace_io.cpp.o"
+  "CMakeFiles/pmiot_timeseries.dir/trace_io.cpp.o.d"
+  "libpmiot_timeseries.a"
+  "libpmiot_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zkp/meter.cpp" "src/zkp/CMakeFiles/pmiot_zkp.dir/meter.cpp.o" "gcc" "src/zkp/CMakeFiles/pmiot_zkp.dir/meter.cpp.o.d"
+  "/root/repo/src/zkp/modmath.cpp" "src/zkp/CMakeFiles/pmiot_zkp.dir/modmath.cpp.o" "gcc" "src/zkp/CMakeFiles/pmiot_zkp.dir/modmath.cpp.o.d"
+  "/root/repo/src/zkp/pedersen.cpp" "src/zkp/CMakeFiles/pmiot_zkp.dir/pedersen.cpp.o" "gcc" "src/zkp/CMakeFiles/pmiot_zkp.dir/pedersen.cpp.o.d"
+  "/root/repo/src/zkp/proofs.cpp" "src/zkp/CMakeFiles/pmiot_zkp.dir/proofs.cpp.o" "gcc" "src/zkp/CMakeFiles/pmiot_zkp.dir/proofs.cpp.o.d"
+  "/root/repo/src/zkp/sha256.cpp" "src/zkp/CMakeFiles/pmiot_zkp.dir/sha256.cpp.o" "gcc" "src/zkp/CMakeFiles/pmiot_zkp.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

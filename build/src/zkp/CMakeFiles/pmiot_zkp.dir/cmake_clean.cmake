@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmiot_zkp.dir/meter.cpp.o"
+  "CMakeFiles/pmiot_zkp.dir/meter.cpp.o.d"
+  "CMakeFiles/pmiot_zkp.dir/modmath.cpp.o"
+  "CMakeFiles/pmiot_zkp.dir/modmath.cpp.o.d"
+  "CMakeFiles/pmiot_zkp.dir/pedersen.cpp.o"
+  "CMakeFiles/pmiot_zkp.dir/pedersen.cpp.o.d"
+  "CMakeFiles/pmiot_zkp.dir/proofs.cpp.o"
+  "CMakeFiles/pmiot_zkp.dir/proofs.cpp.o.d"
+  "CMakeFiles/pmiot_zkp.dir/sha256.cpp.o"
+  "CMakeFiles/pmiot_zkp.dir/sha256.cpp.o.d"
+  "libpmiot_zkp.a"
+  "libpmiot_zkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmiot_zkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nilm_test.dir/nilm_test.cpp.o"
+  "CMakeFiles/nilm_test.dir/nilm_test.cpp.o.d"
+  "nilm_test"
+  "nilm_test.pdb"
+  "nilm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nilm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

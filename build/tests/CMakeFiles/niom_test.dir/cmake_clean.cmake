@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niom_test.dir/niom_test.cpp.o"
+  "CMakeFiles/niom_test.dir/niom_test.cpp.o.d"
+  "niom_test"
+  "niom_test.pdb"
+  "niom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_test.dir/solar_test.cpp.o"
+  "CMakeFiles/solar_test.dir/solar_test.cpp.o.d"
+  "solar_test"
+  "solar_test.pdb"
+  "solar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

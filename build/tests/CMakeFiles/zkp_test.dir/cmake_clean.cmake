@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkp_test.dir/zkp_test.cpp.o"
+  "CMakeFiles/zkp_test.dir/zkp_test.cpp.o.d"
+  "zkp_test"
+  "zkp_test.pdb"
+  "zkp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
