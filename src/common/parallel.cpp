@@ -1,0 +1,164 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmiot::par {
+namespace {
+
+// Set while a thread (worker or the batch's caller) is executing batch
+// iterations; nested parallel_for calls detect it and run inline.
+thread_local bool tls_in_batch = false;
+
+std::size_t read_thread_count() {
+  if (const char* env = std::getenv("PMIOT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+std::size_t thread_count() {
+  static const std::size_t n = read_thread_count();
+  return n;
+}
+
+std::uint64_t shard_seed(std::uint64_t base_seed,
+                         std::uint64_t shard) noexcept {
+  // Two SplitMix64 finalization rounds over a golden-ratio stride; the same
+  // mixing family Rng uses for seed expansion.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  for (int round = 0; round < 2; ++round) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+  }
+  return z;
+}
+
+struct ThreadPool::Impl {
+  std::mutex batch_mu;  // serializes parallel_for calls against each other
+
+  std::mutex mu;
+  std::condition_variable wake_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  bool stop = false;
+
+  // State of the batch currently running (valid while pending > 0 or the
+  // caller is still inside parallel_for).
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t end = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t pending = 0;  // workers that have not finished this batch
+  std::exception_ptr error;
+
+  std::vector<std::thread> workers;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    tls_in_batch = true;  // workers never fan out further
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        wake_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) threads = thread_count();
+  // The caller participates in every batch, so spawn one fewer worker.
+  for (std::size_t i = 1; i < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->wake_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::size() const noexcept {
+  return impl_->workers.size() + 1;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (tls_in_batch || impl_->workers.empty() || end - begin == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> batch_lock(impl_->batch_mu);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->body = &body;
+    impl_->end = end;
+    impl_->next.store(begin, std::memory_order_relaxed);
+    impl_->pending = impl_->workers.size();
+    impl_->error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->wake_cv.notify_all();
+
+  tls_in_batch = true;
+  impl_->drain();
+  tls_in_batch = false;
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+    impl_->body = nullptr;
+    error = impl_->error;
+    impl_->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  static ThreadPool pool;
+  pool.parallel_for(begin, end, body);
+}
+
+}  // namespace pmiot::par

@@ -1,0 +1,67 @@
+// Deterministic fork/join parallelism for the evaluation harnesses.
+//
+// The ROADMAP's scale target ("millions of users, as fast as the hardware
+// allows") makes the per-home / per-trial loops in the benches and the NIOM
+// evaluator embarrassingly parallel. This module provides the minimum
+// machinery to exploit that without giving up pmiot's bit-reproducibility
+// contract: a small fork/join thread pool, a `parallel_for` over an index
+// range, and `shard_seed` for deriving an independent RNG stream per shard.
+//
+// Determinism contract: results must depend only on the shard index, never
+// on thread identity or scheduling. Callers achieve this by (a) writing
+// shard i's results only to slot i of a pre-sized output vector and (b)
+// seeding any randomness from `shard_seed(base, i)`. Under that discipline
+// the output is identical at 1 thread and N threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace pmiot::par {
+
+/// Worker parallelism used by the shared pool: the `PMIOT_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// `std::thread::hardware_concurrency()` (minimum 1). Evaluated once.
+std::size_t thread_count();
+
+/// Deterministic per-shard seed: SplitMix64-style mix of (base_seed, shard).
+/// Nearby shards yield uncorrelated streams, and the result is independent
+/// of which thread runs the shard.
+std::uint64_t shard_seed(std::uint64_t base_seed,
+                         std::uint64_t shard) noexcept;
+
+/// Small fork/join thread pool. One batch (`parallel_for` call) runs at a
+/// time; iterations are handed to workers via an atomic cursor. Nested
+/// `parallel_for` calls from inside a running batch execute inline on the
+/// calling thread, so composed parallel code cannot deadlock the pool.
+class ThreadPool {
+ public:
+  /// `threads == 0` means `thread_count()`. A pool of size 1 runs
+  /// everything inline on the caller (no worker threads are spawned).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute work, including the calling thread.
+  std::size_t size() const noexcept;
+
+  /// Runs body(i) for every i in [begin, end), blocking until all
+  /// iterations complete. The calling thread participates. The first
+  /// exception thrown by any iteration is rethrown here (remaining
+  /// iterations still run).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// `parallel_for` on a process-wide shared pool sized by `thread_count()`.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace pmiot::par

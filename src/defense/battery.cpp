@@ -29,12 +29,15 @@ BatteryResult apply_battery(const ts::TimeSeries& load,
   std::vector<double> metered(load.size(), 0.0);
   double soc = options.initial_soc * options.capacity_kwh;
 
+  // Daily flat target: that day's mean load (NILL's steady-state level).
+  // Computed once per day — recomputing the mean inside the sample loop
+  // would make the defense O(samples × samples-per-day).
+  double target = 0.0;
   for (std::size_t t = 0; t < load.size(); ++t) {
-    // Daily flat target: that day's mean load (NILL's steady-state level).
-    const std::size_t day_first = (t / per_day) * per_day;
-    const std::size_t day_len = std::min(per_day, load.size() - day_first);
-    const double target =
-        stats::mean(load.values().subspan(day_first, day_len));
+    if (t % per_day == 0) {
+      const std::size_t day_len = std::min(per_day, load.size() - t);
+      target = stats::mean(load.values().subspan(t, day_len));
+    }
 
     const double desired_delta = intensity * (target - load[t]);
     // desired_delta > 0: the grid should supply more than the home uses ->
@@ -92,11 +95,14 @@ NillResult apply_nill(const ts::TimeSeries& load, const NillOptions& options) {
   std::vector<double> metered(load.size(), 0.0);
   double soc = battery.initial_soc * battery.capacity_kwh;
 
+  // Steady-state target K_ss: the day's mean, hoisted out of the sample
+  // loop like in apply_battery.
+  double k_ss = 0.0;
   for (std::size_t t = 0; t < load.size(); ++t) {
-    const std::size_t day_first = (t / per_day) * per_day;
-    const std::size_t day_len = std::min(per_day, load.size() - day_first);
-    const double k_ss =
-        stats::mean(load.values().subspan(day_first, day_len));
+    if (t % per_day == 0) {
+      const std::size_t day_len = std::min(per_day, load.size() - t);
+      k_ss = stats::mean(load.values().subspan(t, day_len));
+    }
 
     // State transitions on SoC thresholds (the NILL control law).
     const double frac = soc / battery.capacity_kwh;

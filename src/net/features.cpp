@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "common/error.h"
 #include "common/stats.h"
 #include "net/packet.h"
+#include "net/window_accumulator.h"
 
 namespace pmiot::net {
+
+namespace {
+
+// Distinct-value tracker: only the count is ever read, and a window sees a
+// handful of peers/ports, so an unsorted vector beats a node-based set.
+template <typename T>
+void insert_unique(std::vector<T>& values, T value) {
+  if (std::find(values.begin(), values.end(), value) == values.end()) {
+    values.push_back(value);
+  }
+}
+
+}  // namespace
 
 const std::vector<std::string>& feature_names() {
   static const std::vector<std::string> names = {
@@ -26,8 +39,10 @@ const std::vector<std::string>& feature_names() {
       "lan_fraction",       // packets to/from other LAN hosts
       "iat_median",         // median upstream inter-arrival time
       "iat_cv",             // coefficient of variation of upstream IATs
-      "burst_max_rate",     // max packets in any 10 s bucket, per second
-      "dns_rate",           // DNS exchanges per minute
+      "burst_max_rate",     // max packets/s over any 10 s bucket (the last
+                            // bucket is normalized by its actual width)
+      "dns_rate",           // DNS queries per minute (upstream packets to
+                            // port 53; one per query/response exchange)
       "flow_count",         // distinct flows (5-tuple, 120 s idle timeout)
   };
   return names;
@@ -40,13 +55,15 @@ std::vector<double> extract_window_features(std::span<const Packet> packets,
   const double window_s = t1 - t0;
 
   FlowTable flow_table;
-  std::vector<double> up_sizes, down_sizes, up_times;
+  stats::Accumulator up_size, down_size;
+  std::vector<double> up_times;
   double up_bytes = 0, down_bytes = 0;
   std::size_t udp = 0, total = 0, lan_pkts = 0, dns = 0;
-  std::set<std::uint32_t> remotes;
-  std::set<std::uint16_t> ports;
-  std::vector<std::size_t> buckets(
-      static_cast<std::size_t>(window_s / 10.0) + 1, 0);
+  std::vector<std::uint32_t> remotes;
+  std::vector<std::uint16_t> ports;
+  const auto num_buckets = std::max<std::size_t>(
+      static_cast<std::size_t>(std::ceil(window_s / 10.0)), 1);
+  std::vector<std::size_t> buckets(num_buckets, 0);
 
   for (const auto& p : packets) {
     if (p.timestamp_s < t0 || p.timestamp_s >= t1) continue;
@@ -60,17 +77,22 @@ std::vector<double> extract_window_features(std::span<const Packet> packets,
     if (is_lan(peer) && (peer & 0xff) != 1) {
       ++lan_pkts;  // LAN peer other than the router
     } else if (!is_lan(peer)) {
-      remotes.insert(peer);
+      insert_unique(remotes, peer);
     }
-    if (p.dst_port == 53 || p.src_port == 53) ++dns;
-    ++buckets[static_cast<std::size_t>((p.timestamp_s - t0) / 10.0)];
+    // One DNS exchange = one upstream query + its response; count queries
+    // so the rate is exchanges, not packets.
+    if (up && p.dst_port == 53) ++dns;
+    const auto bucket = std::min(
+        static_cast<std::size_t>((p.timestamp_s - t0) / 10.0),
+        num_buckets - 1);
+    ++buckets[bucket];
     if (up) {
-      up_sizes.push_back(p.size_bytes);
+      up_size.add(p.size_bytes);
       up_bytes += p.size_bytes;
       up_times.push_back(p.timestamp_s);
-      ports.insert(p.dst_port);
+      insert_unique(ports, p.dst_port);
     } else {
-      down_sizes.push_back(p.size_bytes);
+      down_size.add(p.size_bytes);
       down_bytes += p.size_bytes;
     }
   }
@@ -78,13 +100,13 @@ std::vector<double> extract_window_features(std::span<const Packet> packets,
   std::vector<double> f(feature_names().size(), 0.0);
   if (total == 0) return f;
 
-  f[0] = static_cast<double>(up_sizes.size()) / window_s;
-  f[1] = static_cast<double>(down_sizes.size()) / window_s;
+  f[0] = static_cast<double>(up_size.count()) / window_s;
+  f[1] = static_cast<double>(down_size.count()) / window_s;
   f[2] = up_bytes / window_s;
   f[3] = down_bytes / window_s;
-  f[4] = up_sizes.empty() ? 0.0 : stats::mean(up_sizes);
-  f[5] = up_sizes.empty() ? 0.0 : stats::stddev(up_sizes);
-  f[6] = down_sizes.empty() ? 0.0 : stats::mean(down_sizes);
+  f[4] = up_size.count() == 0 ? 0.0 : up_size.mean();
+  f[5] = up_size.count() == 0 ? 0.0 : up_size.stddev();
+  f[6] = down_size.count() == 0 ? 0.0 : down_size.mean();
   f[7] = (up_bytes + down_bytes) > 0 ? up_bytes / (up_bytes + down_bytes) : 0;
   f[8] = static_cast<double>(udp) / static_cast<double>(total);
   f[9] = static_cast<double>(remotes.size());
@@ -101,32 +123,28 @@ std::vector<double> extract_window_features(std::span<const Packet> packets,
     const double m = stats::mean(iats);
     f[13] = m > 0 ? stats::stddev(iats) / m : 0.0;
   }
-  std::size_t burst = 0;
-  for (auto b : buckets) burst = std::max(burst, b);
-  f[14] = static_cast<double>(burst) / 10.0;
+  // Each bucket is normalized by its true width, so a truncated final
+  // bucket (window not a multiple of 10 s) is not biased low.
+  double burst = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double width = std::min(10.0, window_s - 10.0 * static_cast<double>(b));
+    burst = std::max(burst, static_cast<double>(buckets[b]) / width);
+  }
+  f[14] = burst;
   f[15] = static_cast<double>(dns) / (window_s / 60.0);
   f[16] = static_cast<double>(flow_table.flows().size());
   return f;
 }
 
-std::vector<std::vector<double>> windowed_features(
-    std::span<const Packet> packets, std::uint32_t device_ip,
-    double duration_s, double window_s) {
+std::vector<WindowRow> windowed_features(std::span<const Packet> packets,
+                                         std::uint32_t device_ip,
+                                         double duration_s, double window_s,
+                                         bool keep_idle_windows) {
   PMIOT_CHECK(window_s > 0.0 && duration_s >= window_s,
               "need at least one full window");
-  std::vector<std::vector<double>> out;
-  for (double t0 = 0.0; t0 + window_s <= duration_s; t0 += window_s) {
-    auto f = extract_window_features(packets, device_ip, t0, t0 + window_s);
-    bool any = false;
-    for (double v : f) {
-      if (v != 0.0) {
-        any = true;
-        break;
-      }
-    }
-    if (any) out.push_back(std::move(f));
-  }
-  return out;
+  WindowAccumulator accumulator(device_ip, window_s, keep_idle_windows);
+  for (const auto& p : packets) accumulator.add(p);
+  return accumulator.finish(duration_s);
 }
 
 }  // namespace pmiot::net

@@ -4,8 +4,16 @@
 // traffic patterns ... frequency of transmission, the amount of data they
 // transmit, and where those transmissions are directed". The feature vector
 // captures exactly those three axes per device per observation window.
+//
+// Two extraction paths produce identical results:
+//   * `extract_window_features` — the readable reference: rescans the
+//     packet span for one window.
+//   * `WindowAccumulator` (window_accumulator.h) — the streaming path used
+//     by `windowed_features` and the gateway: one pass over the capture for
+//     every window. A property test keeps the two bit-for-bit equal.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,11 +33,23 @@ std::vector<double> extract_window_features(std::span<const Packet> packets,
                                             std::uint32_t device_ip,
                                             double t0, double t1);
 
-/// Splits a capture into consecutive windows of `window_s` seconds and
-/// extracts one feature vector per window for the device. Windows with no
-/// traffic are skipped.
-std::vector<std::vector<double>> windowed_features(
-    std::span<const Packet> packets, std::uint32_t device_ip,
-    double duration_s, double window_s);
+/// One window's feature vector, tagged with its wall-clock window number
+/// (window k covers [k * window_s, (k+1) * window_s)), so downstream code
+/// can align rows with time even when idle windows are omitted.
+struct WindowRow {
+  std::size_t window_index = 0;
+  std::vector<double> features;
+};
+
+/// Splits a capture into consecutive `window_s`-second windows and extracts
+/// one feature row per window for the device, in a single pass over the
+/// packets (which must be sorted by timestamp — see `sort_by_time`).
+/// By default windows with no device traffic are omitted; their indices are
+/// still consumed, so `window_index` always reflects wall-clock position.
+/// With `keep_idle_windows` every window is returned (idle ones all-zero).
+std::vector<WindowRow> windowed_features(std::span<const Packet> packets,
+                                         std::uint32_t device_ip,
+                                         double duration_s, double window_s,
+                                         bool keep_idle_windows = false);
 
 }  // namespace pmiot::net

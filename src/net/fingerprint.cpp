@@ -17,7 +17,7 @@ ml::Dataset build_fingerprint_dataset(const FingerprintOptions& options,
   for (const auto& device : home.devices) {
     for (auto& row : windowed_features(home.packets, device.ip,
                                        options.duration_s, options.window_s)) {
-      data.append(std::move(row), static_cast<int>(device.type));
+      data.append(std::move(row.features), static_cast<int>(device.type));
     }
   }
   data.validate();

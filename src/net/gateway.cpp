@@ -46,22 +46,34 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
   std::map<std::uint32_t, State> state;
   for (const auto& [ip, name] : devices_) state[ip] = State{};
 
+  // One streaming pass over the capture per device (idle windows omitted;
+  // window_index keeps the rows aligned with wall-clock windows), instead
+  // of rescanning the whole capture once per window per device.
+  std::map<std::uint32_t, std::vector<WindowRow>> device_rows;
+  std::map<std::uint32_t, std::size_t> cursor;
+  for (const auto& [ip, name] : devices_) {
+    device_rows[ip] =
+        windowed_features(packets, ip, duration_s, options_.window_s);
+    cursor[ip] = 0;
+  }
+
   const int windows =
       static_cast<int>(std::floor(duration_s / options_.window_s));
   for (int w = 0; w < windows; ++w) {
-    const double t0 = w * options_.window_s;
-    const double t1 = t0 + options_.window_s;
+    const double t1 = (w + 1) * options_.window_s;
     for (const auto& [ip, name] : devices_) {
       auto& st = state[ip];
-      const auto features = extract_window_features(packets, ip, t0, t1);
-      bool silent = true;
-      for (double v : features) {
-        if (v != 0.0) {
-          silent = false;
-          break;
-        }
+      const auto& rows = device_rows[ip];
+      auto& next = cursor[ip];
+      while (next < rows.size() &&
+             rows[next].window_index < static_cast<std::size_t>(w)) {
+        ++next;
       }
-      if (silent) continue;
+      if (next >= rows.size() ||
+          rows[next].window_index != static_cast<std::size_t>(w)) {
+        continue;  // silent window
+      }
+      const auto& features = rows[next].features;
 
       const int predicted = classifier_.predict(features);
       st.type_votes.push_back(predicted);

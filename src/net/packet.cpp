@@ -27,6 +27,18 @@ bool is_lan(std::uint32_t ip) noexcept {
   return (ip >> 8) == (make_ip(10, 0, 0, 0) >> 8);
 }
 
+std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
+  // SplitMix64 finalizer over the packed key fields; cheap and well mixed
+  // for the handful of bytes a flow key holds.
+  std::uint64_t z = (static_cast<std::uint64_t>(key.ip_a) << 32) | key.ip_b;
+  z ^= (static_cast<std::uint64_t>(key.port_a) << 24) |
+       (static_cast<std::uint64_t>(key.port_b) << 8) |
+       static_cast<std::uint64_t>(key.protocol);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(z ^ (z >> 31));
+}
+
 FlowTable::FlowTable(double idle_timeout_s)
     : idle_timeout_s_(idle_timeout_s) {
   PMIOT_CHECK(idle_timeout_s > 0.0, "timeout must be positive");
@@ -49,23 +61,22 @@ void FlowTable::add(const Packet& packet) {
   }
 
   // Find an active (non-timed-out) flow for the key.
-  for (std::size_t pos = 0; pos < active_.size(); ++pos) {
-    Flow& flow = flows_[active_[pos]];
-    if (!(flow.key == key)) continue;
+  if (const auto it = active_.find(key); it != active_.end()) {
+    Flow& flow = flows_[it->second];
     if (packet.timestamp_s - flow.last_ts > idle_timeout_s_) {
       // Timed out: retire it and start a new flow below.
-      active_.erase(active_.begin() + static_cast<long>(pos));
-      break;
-    }
-    flow.last_ts = std::max(flow.last_ts, packet.timestamp_s);
-    if (forward) {
-      ++flow.packets_ab;
-      flow.bytes_ab += static_cast<std::uint64_t>(packet.size_bytes);
+      active_.erase(it);
     } else {
-      ++flow.packets_ba;
-      flow.bytes_ba += static_cast<std::uint64_t>(packet.size_bytes);
+      flow.last_ts = std::max(flow.last_ts, packet.timestamp_s);
+      if (forward) {
+        ++flow.packets_ab;
+        flow.bytes_ab += static_cast<std::uint64_t>(packet.size_bytes);
+      } else {
+        ++flow.packets_ba;
+        flow.bytes_ba += static_cast<std::uint64_t>(packet.size_bytes);
+      }
+      return;
     }
-    return;
   }
 
   Flow flow;
@@ -79,7 +90,7 @@ void FlowTable::add(const Packet& packet) {
     flow.bytes_ba = static_cast<std::uint64_t>(packet.size_bytes);
   }
   flows_.push_back(flow);
-  active_.push_back(flows_.size() - 1);
+  active_[key] = flows_.size() - 1;
 }
 
 void sort_by_time(std::vector<Packet>& packets) {

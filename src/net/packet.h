@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pmiot::net {
@@ -39,6 +40,11 @@ struct FlowKey {
   Protocol protocol = Protocol::kTcp;
 
   bool operator==(const FlowKey&) const = default;
+};
+
+/// Hash over all key fields so the flow table can index active flows.
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& key) const noexcept;
 };
 
 /// Aggregated bidirectional flow statistics.
@@ -73,9 +79,10 @@ class FlowTable {
  private:
   double idle_timeout_s_;
   std::vector<Flow> flows_;
-  // Index of the active flow per key (linear scan kept simple; tables in
-  // the evaluation hold a few thousand flows).
-  std::vector<std::size_t> active_;
+  // Index into `flows_` of the active flow per key. Tables in the
+  // evaluation hold a few thousand flows and every packet does a lookup,
+  // so this must not degrade to a linear scan.
+  std::unordered_map<FlowKey, std::size_t, FlowKeyHash> active_;
 };
 
 /// Sorts packets by timestamp (generators emit per-device, merge for the

@@ -1,6 +1,7 @@
 #include "niom/evaluate.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "synth/occupancy.h"
 
 namespace pmiot::niom {
@@ -51,6 +52,21 @@ NiomReport score_predictions(const std::string& name,
   report.precision = report.confusion.precision();
   report.recall = report.confusion.recall();
   return report;
+}
+
+std::vector<NiomReport> evaluate_many(std::span<const EvaluationJob> jobs) {
+  for (const auto& job : jobs) {
+    PMIOT_CHECK(job.detector != nullptr && job.power != nullptr &&
+                    job.occupancy_minutes != nullptr,
+                "evaluation job missing detector or data");
+  }
+  std::vector<NiomReport> reports(jobs.size());
+  par::parallel_for(0, jobs.size(), [&](std::size_t i) {
+    const auto& job = jobs[i];
+    reports[i] = evaluate(*job.detector, *job.power, *job.occupancy_minutes,
+                          job.options);
+  });
+  return reports;
 }
 
 NiomReport evaluate(const OccupancyDetector& detector,

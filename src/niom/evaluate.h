@@ -6,6 +6,7 @@
 // confusion matrix computed here.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,22 @@ NiomReport evaluate(const OccupancyDetector& detector,
                     const ts::TimeSeries& power,
                     const std::vector<int>& occupancy_minutes,
                     const EvaluateOptions& options = {});
+
+/// One detector-vs-trace request for `evaluate_many`. All pointers are
+/// borrowed and must stay valid for the duration of the call.
+struct EvaluationJob {
+  const OccupancyDetector* detector = nullptr;
+  const ts::TimeSeries* power = nullptr;
+  const std::vector<int>* occupancy_minutes = nullptr;
+  EvaluateOptions options;
+};
+
+/// Evaluates every job, fanning the independent (detector, home) pairs out
+/// across the shared thread pool (sized by `PMIOT_THREADS`, see
+/// common/parallel.h). Reports are returned in job order and are identical
+/// at any thread count; detectors must be safe to call concurrently
+/// (`detect` is const and the built-in detectors carry no mutable state).
+std::vector<NiomReport> evaluate_many(std::span<const EvaluationJob> jobs);
 
 /// Scores an externally produced per-sample prediction the same way.
 NiomReport score_predictions(const std::string& name,

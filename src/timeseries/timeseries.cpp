@@ -48,7 +48,9 @@ int TimeSeries::minute_of_day_at(std::size_t i) const {
 }
 
 TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
-  PMIOT_CHECK(first + count <= values_.size(), "slice out of range");
+  // Overflow-safe form of `first + count <= size()`: the sum can wrap.
+  PMIOT_CHECK(count <= values_.size() && first <= values_.size() - count,
+              "slice out of range");
   TraceMeta meta = meta_;
   const long total_seconds =
       static_cast<long>(meta_.start_minute) * 60 + seconds_at(first);

@@ -1,11 +1,15 @@
 // Unit tests for pmiot_common: RNG, statistics, civil time, tables.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/civil_time.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -413,6 +417,93 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::int64_t, std::int64_t>{100, 1000},
                       std::pair<std::int64_t, std::int64_t>{-1000000, -999990},
                       std::pair<std::int64_t, std::int64_t>{0, 0}));
+
+// --- parallel ---------------------------------------------------------------
+
+TEST(Parallel, ForRunsEveryIndexExactlyOnce) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyAndSingletonRanges) {
+  par::ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, DeterministicAcrossThreadCounts) {
+  // Shard i's result depends only on shard_seed(base, i), so a serial pool
+  // and a wide pool must produce bitwise-identical outputs.
+  auto run = [](std::size_t threads) {
+    par::ThreadPool pool(threads);
+    std::vector<double> out(64, 0.0);
+    pool.parallel_for(0, out.size(), [&](std::size_t i) {
+      Rng rng(par::shard_seed(42, i));
+      double s = 0.0;
+      for (int k = 0; k < 100; ++k) s += rng.normal();
+      out[i] = s;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  const auto wide = run(8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], wide[i]) << i;
+  }
+}
+
+TEST(Parallel, NestedForRunsInline) {
+  par::ThreadPool pool(4);
+  std::vector<int> out(16, 0);
+  pool.parallel_for(0, 4, [&](std::size_t i) {
+    pool.parallel_for(0, 4, [&](std::size_t j) {
+      out[i * 4 + j] = static_cast<int>(i * 4 + j);
+    });
+  });
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Parallel, RethrowsFirstException) {
+  par::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) {
+                                     throw InvalidArgument("boom");
+                                   }
+                                 }),
+               InvalidArgument);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Parallel, ShardSeedsAreDistinctAndStable) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL}) {
+    for (std::uint64_t shard = 0; shard < 100; ++shard) {
+      seen.insert(par::shard_seed(base, shard));
+      EXPECT_EQ(par::shard_seed(base, shard), par::shard_seed(base, shard));
+    }
+  }
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(Parallel, ThreadCountIsPositive) {
+  EXPECT_GE(par::thread_count(), 1u);
+  EXPECT_EQ(par::ThreadPool(3).size(), 3u);
+  EXPECT_EQ(par::ThreadPool(1).size(), 1u);
+}
 
 }  // namespace
 }  // namespace pmiot

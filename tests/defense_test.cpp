@@ -230,6 +230,76 @@ TEST(Battery, MeterNeverNegative) {
   }
 }
 
+// Oracle for apply_battery that recomputes the daily mean inside the sample
+// loop — the O(n · per_day) formulation the production code hoisted. The
+// defense must produce identical output.
+ts::TimeSeries battery_oracle(const ts::TimeSeries& load,
+                              const BatteryOptions& options,
+                              double intensity) {
+  const auto per_day = load.samples_per_day();
+  const double dt_hours = load.meta().interval_seconds / 3600.0;
+  const double one_way_eff = std::sqrt(options.round_trip_efficiency);
+  std::vector<double> metered(load.size(), 0.0);
+  double soc = options.initial_soc * options.capacity_kwh;
+  for (std::size_t t = 0; t < load.size(); ++t) {
+    const std::size_t day_first = (t / per_day) * per_day;
+    const std::size_t day_len = std::min(per_day, load.size() - day_first);
+    const double target =
+        stats::mean(load.values().subspan(day_first, day_len));
+    const double desired_delta = intensity * (target - load[t]);
+    double battery_kw = std::clamp(desired_delta, -options.max_power_kw,
+                                   options.max_power_kw);
+    if (battery_kw > 0.0) {
+      const double room_kwh = options.capacity_kwh - soc;
+      battery_kw = std::min(battery_kw, room_kwh / (one_way_eff * dt_hours));
+      soc += battery_kw * one_way_eff * dt_hours;
+    } else if (battery_kw < 0.0) {
+      const double avail_kw = soc * one_way_eff / dt_hours;
+      battery_kw = std::max(battery_kw, -avail_kw);
+      soc += battery_kw / one_way_eff * dt_hours;
+    }
+    soc = std::clamp(soc, 0.0, options.capacity_kwh);
+    metered[t] = std::max(0.0, load[t] + battery_kw);
+  }
+  return ts::TimeSeries(load.meta(), std::move(metered));
+}
+
+TEST(Battery, HoistedDailyMeanMatchesPerSampleRecompute) {
+  Rng rng(28);
+  const auto home =
+      synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 3, rng);
+  // A trailing partial day makes the last day_len < per_day.
+  const auto load = home.aggregate.slice(0, home.aggregate.size() - 100);
+  for (double intensity : {0.4, 1.0}) {
+    const auto result = apply_battery(load, BatteryOptions{}, intensity);
+    const auto expected = battery_oracle(load, BatteryOptions{}, intensity);
+    ASSERT_EQ(result.metered.size(), expected.size());
+    for (std::size_t t = 0; t < expected.size(); ++t) {
+      EXPECT_DOUBLE_EQ(result.metered[t], expected[t]) << "t=" << t;
+    }
+  }
+}
+
+TEST(Nill, SteadyTargetTracksEachDaysMean) {
+  // Two days with very different means; with a battery large enough never
+  // to hit a recovery threshold, the meter must sit at each day's own mean.
+  ts::TraceMeta meta;
+  meta.interval_seconds = 60;
+  std::vector<double> values;
+  for (int t = 0; t < 1440; ++t) values.push_back(t % 2 == 0 ? 0.2 : 0.6);
+  for (int t = 0; t < 1440; ++t) values.push_back(t % 2 == 0 ? 0.6 : 1.4);
+  const ts::TimeSeries load(meta, values);
+
+  NillOptions options;
+  options.battery.capacity_kwh = 100.0;
+  options.battery.max_power_kw = 10.0;
+  options.battery.round_trip_efficiency = 1.0;
+  const auto result = apply_nill(load, options);
+  for (std::size_t t = 0; t < result.metered.size(); ++t) {
+    EXPECT_NEAR(result.metered[t], t < 1440 ? 0.4 : 1.0, 1e-9) << "t=" << t;
+  }
+}
+
 TEST(Nill, HoldsMeterAtSteadyTargets) {
   Rng rng(26);
   const auto home =

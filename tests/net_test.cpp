@@ -16,6 +16,7 @@
 
 #include "net/capture.h"
 #include "net/packet.h"
+#include "net/window_accumulator.h"
 
 namespace pmiot::net {
 namespace {
@@ -274,8 +275,177 @@ TEST(Features, WindowedSkipsSilentWindows) {
   const auto rows = windowed_features(packets, profile.ip, 3600.0, 600.0);
   EXPECT_LE(rows.size(), 6u);
   for (const auto& row : rows) {
-    EXPECT_EQ(row.size(), feature_names().size());
+    EXPECT_LT(row.window_index, 6u);
+    EXPECT_EQ(row.features.size(), feature_names().size());
   }
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].window_index, rows[i].window_index);
+  }
+}
+
+TEST(Features, DnsRateCountsExchangesNotPackets) {
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto router = make_ip(10, 0, 0, 1);
+  std::vector<Packet> packets;
+  // Two DNS exchanges in one minute: each is a query up plus a response
+  // down. The rate must count exchanges (2/min), not packets (4/min).
+  for (int i = 0; i < 2; ++i) {
+    packets.push_back(
+        Packet{5.0 + i * 20.0, dev, router, 40000, 53, Protocol::kUdp, 60});
+    packets.push_back(Packet{5.1 + i * 20.0, router, dev, 53, 40000,
+                             Protocol::kUdp, 140});
+  }
+  const auto f = extract_window_features(packets, dev, 0.0, 60.0);
+  EXPECT_DOUBLE_EQ(f[15], 2.0);
+}
+
+TEST(Features, BurstRateNormalizesTruncatedBucket) {
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto cloud = make_ip(52, 20, 0, 1);
+  // Window [0, 15): the final bucket [10, 15) is only 5 s wide. Five
+  // packets there are a rate of 1/s, not 0.5/s.
+  std::vector<Packet> packets;
+  for (int i = 0; i < 5; ++i) {
+    packets.push_back(
+        Packet{10.0 + i, dev, cloud, 1, 443, Protocol::kTcp, 100});
+  }
+  const auto f = extract_window_features(packets, dev, 0.0, 15.0);
+  EXPECT_DOUBLE_EQ(f[14], 1.0);
+
+  // A packet just before the window end still lands in the last bucket
+  // (no out-of-range bucket index), and one at the end is excluded.
+  std::vector<Packet> edge;
+  edge.push_back(Packet{599.999, dev, cloud, 1, 443, Protocol::kTcp, 100});
+  edge.push_back(Packet{600.0, dev, cloud, 1, 443, Protocol::kTcp, 100});
+  const auto g = extract_window_features(edge, dev, 0.0, 600.0);
+  EXPECT_DOUBLE_EQ(g[0], 1.0 / 600.0);
+  EXPECT_DOUBLE_EQ(g[14], 0.1);
+}
+
+TEST(Features, WindowedKeepsIndicesAcrossIdleGaps) {
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto cloud = make_ip(52, 20, 0, 1);
+  // Traffic in windows 0 and 3 only; windows 1-2 are idle.
+  std::vector<Packet> packets;
+  packets.push_back(Packet{10.0, dev, cloud, 1, 443, Protocol::kTcp, 100});
+  packets.push_back(Packet{1810.0, dev, cloud, 1, 443, Protocol::kTcp, 100});
+
+  const auto rows = windowed_features(packets, dev, 2400.0, 600.0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].window_index, 0u);
+  EXPECT_EQ(rows[1].window_index, 3u);
+
+  const auto all = windowed_features(packets, dev, 2400.0, 600.0,
+                                     /*keep_idle_windows=*/true);
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t w = 0; w < all.size(); ++w) {
+    EXPECT_EQ(all[w].window_index, w);
+  }
+  for (double v : all[1].features) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : all[2].features) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// --- the streaming accumulator ----------------------------------------------------
+
+// Random gateway-style traffic exercising every feature: cloud exchanges,
+// DNS, LAN chatter, bursts, idle stretches, and other devices' packets the
+// accumulator must ignore.
+std::vector<Packet> random_trace(Rng& rng, std::uint32_t device_ip,
+                                 double duration_s) {
+  std::vector<Packet> out;
+  const auto cloud = make_ip(52, 20, 0, 1);
+  const auto router = make_ip(10, 0, 0, 1);
+  const int n = static_cast<int>(rng.uniform_int(50, 400));
+  for (int i = 0; i < n; ++i) {
+    // Cluster some traffic to create bursts and leave idle windows.
+    double t = rng.bernoulli(0.3)
+                   ? rng.uniform(0.0, duration_s * 0.2)
+                   : rng.uniform(0.0, duration_s * 1.05);
+    const double roll = rng.uniform();
+    const auto size = static_cast<int>(rng.uniform_int(40, 1400));
+    if (roll < 0.35) {  // upstream to the cloud
+      out.push_back(Packet{t, device_ip, cloud,
+                           static_cast<std::uint16_t>(rng.uniform_int(1024, 65535)),
+                           static_cast<std::uint16_t>(rng.bernoulli(0.5) ? 443 : 8883),
+                           rng.bernoulli(0.3) ? Protocol::kUdp : Protocol::kTcp,
+                           size});
+    } else if (roll < 0.55) {  // downstream
+      out.push_back(Packet{t, cloud, device_ip, 443,
+                           static_cast<std::uint16_t>(rng.uniform_int(1024, 65535)),
+                           Protocol::kTcp, size});
+    } else if (roll < 0.7) {  // DNS exchange with the router
+      out.push_back(Packet{t, device_ip, router, 40000, 53, Protocol::kUdp, 60});
+      out.push_back(Packet{t + 0.05, router, device_ip, 53, 40000,
+                           Protocol::kUdp, 140});
+    } else if (roll < 0.85) {  // LAN chatter with another IoT host
+      const auto peer =
+          make_ip(10, 0, 0, static_cast<int>(rng.uniform_int(11, 40)));
+      out.push_back(Packet{t, device_ip, peer, 8883, 8883, Protocol::kTcp, 150});
+    } else {  // unrelated traffic the accumulator must skip
+      out.push_back(Packet{t, make_ip(10, 0, 0, 99), cloud, 5000, 443,
+                           Protocol::kTcp, size});
+    }
+  }
+  sort_by_time(out);
+  return out;
+}
+
+TEST(WindowAccumulator, MatchesReferenceBitForBit) {
+  const auto dev = make_ip(10, 0, 0, 10);
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(100 + seed);
+    // Odd window lengths exercise the truncated final burst bucket; the
+    // duration leaves a partial trailing window the pipeline must drop.
+    const double window_s = (seed % 3 == 0) ? 47.0 : 60.0;
+    const double duration_s = 600.0 + static_cast<double>(seed % 2) * 33.0;
+    const auto packets = random_trace(rng, dev, duration_s);
+
+    const auto rows = windowed_features(packets, dev, duration_s, window_s,
+                                        /*keep_idle_windows=*/true);
+    std::size_t expected_windows = 0;
+    while (static_cast<double>(expected_windows + 1) * window_s <=
+           duration_s) {
+      ++expected_windows;
+    }
+    ASSERT_EQ(rows.size(), expected_windows) << "seed " << seed;
+    for (std::size_t w = 0; w < rows.size(); ++w) {
+      const auto reference = extract_window_features(
+          packets, dev, static_cast<double>(w) * window_s,
+          static_cast<double>(w + 1) * window_s);
+      ASSERT_EQ(rows[w].features.size(), reference.size());
+      for (std::size_t k = 0; k < reference.size(); ++k) {
+        EXPECT_EQ(rows[w].features[k], reference[k])
+            << "seed " << seed << " window " << w << " feature "
+            << feature_names()[k];
+      }
+    }
+  }
+}
+
+TEST(WindowAccumulator, MatchesReferenceOnSimulatedHome) {
+  Rng rng(31);
+  const auto home = simulate_home_network(1, 1800.0, rng);
+  for (const auto& device : home.devices) {
+    const auto rows = windowed_features(home.packets, device.ip, 1800.0,
+                                        600.0, /*keep_idle_windows=*/true);
+    ASSERT_EQ(rows.size(), 3u);
+    for (std::size_t w = 0; w < rows.size(); ++w) {
+      const auto reference = extract_window_features(
+          home.packets, device.ip, w * 600.0, (w + 1) * 600.0);
+      for (std::size_t k = 0; k < reference.size(); ++k) {
+        EXPECT_EQ(rows[w].features[k], reference[k]) << device.name;
+      }
+    }
+  }
+}
+
+TEST(WindowAccumulator, RejectsOutOfOrderPackets) {
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto cloud = make_ip(52, 20, 0, 1);
+  WindowAccumulator acc(dev, 600.0);
+  acc.add(Packet{100.0, dev, cloud, 1, 443, Protocol::kTcp, 100});
+  EXPECT_THROW(acc.add(Packet{50.0, dev, cloud, 1, 443, Protocol::kTcp, 100}),
+               InvalidArgument);
 }
 
 // --- fingerprinting ------------------------------------------------------------------

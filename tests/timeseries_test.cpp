@@ -2,6 +2,8 @@
 // statistics, filters, edge detection, and ASCII rendering.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.h"
 #include "common/rng.h"
 #include <sstream>
@@ -68,6 +70,18 @@ TEST(TimeSeries, SliceCarriesMeta) {
   EXPECT_EQ(sliced.meta().start_date, (CivilDate{2017, 6, 2}));
   EXPECT_EQ(sliced.meta().start_minute, 60);
   EXPECT_THROW(s.slice(2880, 1), InvalidArgument);
+}
+
+TEST(TimeSeries, SliceRejectsOverflowingRange) {
+  const TimeSeries s(minute_meta(), std::vector<double>(10, 1.0));
+  // first + count would wrap around std::size_t; the check must not.
+  EXPECT_THROW(s.slice(5, std::numeric_limits<std::size_t>::max()),
+               InvalidArgument);
+  EXPECT_THROW(s.slice(std::numeric_limits<std::size_t>::max(), 2),
+               InvalidArgument);
+  EXPECT_THROW(s.slice(4, 7), InvalidArgument);
+  EXPECT_EQ(s.slice(5, 5).size(), 5u);
+  EXPECT_EQ(s.slice(10, 0).size(), 0u);
 }
 
 TEST(TimeSeries, ResampleAveragesBuckets) {
