@@ -7,9 +7,15 @@
 //   * paired edges — short-run loads must present both their on and off edge,
 //   * refractory   — thermostatic loads cannot restart mid-duty-cycle.
 // Each row disables one mechanism; the last row disables all three.
+//
+// The (variant x seed) grid fans out across the shared pmiot::par pool; each
+// cell's randomness depends only on its seed and results land in the cell's
+// own slot before an ordered per-variant reduction, so the table is bitwise
+// identical at any PMIOT_THREADS value.
 #include <iostream>
 #include <map>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "nilm/error.h"
 #include "nilm/powerplay.h"
@@ -26,40 +32,42 @@ struct Variant {
   bool refractory = true;
 };
 
-std::map<std::string, double> run_variant(const Variant& variant,
-                                          const std::vector<std::uint64_t>& seeds) {
+struct CellResult {
+  std::map<std::string, double> errors;
+  std::map<std::string, int> counts;
+};
+
+/// One (variant, seed) cell: simulate the Fig-2 home and score the variant's
+/// tracker against the submetered ground truth.
+CellResult run_cell(const Variant& variant, std::uint64_t seed) {
   const std::vector<std::string> devices = {"toaster", "fridge", "freezer",
                                             "dryer", "hrv"};
   const auto config = synth::fig2_home();
-  std::map<std::string, double> errors;
-  std::map<std::string, int> counts;
-  for (auto seed : seeds) {
-    Rng rng(seed);
-    const auto trace =
-        synth::simulate_home(config, CivilDate{2017, 6, 1}, 7, rng);
-    std::vector<nilm::LoadModel> models;
-    for (const auto& name : devices) {
-      for (const auto& spec : config.appliances) {
-        if (spec.name != name) continue;
-        auto model = nilm::LoadModel::from_spec(spec);
-        model.level_check = variant.level_check && model.level_check;
-        if (!variant.paired_edges) model.require_paired_off_edge = false;
-        if (!variant.refractory) model.refractory_fraction = 0.0;
-        models.push_back(model);
-      }
-    }
-    nilm::PowerPlay tracker(models);
-    const auto tracked = tracker.track(trace.aggregate);
-    for (std::size_t i = 0; i < tracked.size(); ++i) {
-      const auto idx = trace.appliance_index(tracked[i].name);
-      if (trace.per_appliance[idx].energy_kwh() <= 0.0) continue;
-      errors[tracked[i].name] += nilm::disaggregation_error(
-          tracked[i].power, trace.per_appliance[idx].values());
-      ++counts[tracked[i].name];
+  CellResult cell;
+  Rng rng(seed);
+  const auto trace =
+      synth::simulate_home(config, CivilDate{2017, 6, 1}, 7, rng);
+  std::vector<nilm::LoadModel> models;
+  for (const auto& name : devices) {
+    for (const auto& spec : config.appliances) {
+      if (spec.name != name) continue;
+      auto model = nilm::LoadModel::from_spec(spec);
+      model.level_check = variant.level_check && model.level_check;
+      if (!variant.paired_edges) model.require_paired_off_edge = false;
+      if (!variant.refractory) model.refractory_fraction = 0.0;
+      models.push_back(model);
     }
   }
-  for (auto& [name, total] : errors) total /= counts[name];
-  return errors;
+  nilm::PowerPlay tracker(models);
+  const auto tracked = tracker.track(trace.aggregate);
+  for (std::size_t i = 0; i < tracked.size(); ++i) {
+    const auto idx = trace.appliance_index(tracked[i].name);
+    if (trace.per_appliance[idx].energy_kwh() <= 0.0) continue;
+    cell.errors[tracked[i].name] += nilm::disaggregation_error(
+        tracked[i].power, trace.per_appliance[idx].values());
+    ++cell.counts[tracked[i].name];
+  }
+  return cell;
 }
 
 }  // namespace
@@ -80,12 +88,27 @@ int main() {
          "Cells: disaggregation error factor (lower is better).\n"
          "==============================================================\n\n";
 
+  std::vector<CellResult> cells(variants.size() * seeds.size());
+  par::parallel_for(0, cells.size(), [&](std::size_t idx) {
+    const auto& variant = variants[idx / seeds.size()];
+    cells[idx] = run_cell(variant, seeds[idx % seeds.size()]);
+  });
+
   Table table({"variant", "toaster", "fridge", "freezer", "dryer", "hrv",
                "mean"});
-  for (const auto& variant : variants) {
-    const auto errors = run_variant(variant, seeds);
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    // Reduce this variant's seed cells in seed order.
+    std::map<std::string, double> errors;
+    std::map<std::string, int> counts;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const auto& cell = cells[v * seeds.size() + s];
+      for (const auto& [name, err] : cell.errors) errors[name] += err;
+      for (const auto& [name, n] : cell.counts) counts[name] += n;
+    }
+    for (auto& [name, total] : errors) total /= counts[name];
+
     double mean = 0.0;
-    table.add_row().cell(variant.name);
+    table.add_row().cell(variants[v].name);
     for (const auto& device : {"toaster", "fridge", "freezer", "dryer", "hrv"}) {
       const double err = errors.count(device) ? errors.at(device) : 0.0;
       table.cell(err);

@@ -6,9 +6,14 @@
 // modelled generation, and recovers the consumption stream — which then
 // leaks occupancy again via NIOM. Also quantifies how much harder the
 // SunSpot location attack is on net data than on gross generation feeds.
+//
+// The per-site scenarios fan out across the shared pmiot::par pool; each
+// shard seeds its own RNG streams via `par::shard_seed`, so the table is
+// identical at any PMIOT_THREADS value.
 #include <cmath>
 #include <iostream>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "nilm/error.h"
 #include "niom/detector.h"
@@ -33,18 +38,25 @@ int main() {
       << " days.\n"
          "==============================================================\n\n";
 
-  Table table({"site", "gen err", "cons err", "scale err", "NIOM true",
-               "NIOM net", "NIOM recovered"});
+  const std::vector<synth::SolarSite> sites = {
+      synth::fig5_sites()[0], synth::fig5_sites()[3], synth::fig5_sites()[8]};
+
+  struct SiteResult {
+    std::string name;
+    double gen_err = 0.0, cons_err = 0.0, scale_err = 0.0;
+    double true_niom = 0.0, net_niom = 0.0, recovered_niom = 0.0;
+  };
+  std::vector<SiteResult> results(sites.size());
+
   niom::ThresholdNiom attack;
-  Rng rng(5);
-  int scenario = 0;
-  for (const auto& site :
-       {synth::fig5_sites()[0], synth::fig5_sites()[3], synth::fig5_sites()[8]}) {
+  par::parallel_for(0, sites.size(), [&](std::size_t i) {
+    const auto& site = sites[i];
+    Rng rng(par::shard_seed(5, i));
     const auto generation =
         synth::simulate_solar(site, weather, start, kDays, rng);
-    Rng home_rng(50 + scenario++);
+    Rng home_rng(50 + i);
     const auto home = synth::simulate_home(
-        scenario % 2 == 0 ? synth::home_a() : synth::home_b(), start, kDays,
+        i % 2 == 1 ? synth::home_a() : synth::home_b(), start, kDays,
         home_rng);
     auto net = home.aggregate;
     net -= generation;
@@ -55,32 +67,40 @@ int main() {
     const auto result = solar::sundance_disaggregate(net, site.location,
                                                      clouds);
 
-    const double gen_err = nilm::disaggregation_error(
+    auto& out = results[i];
+    out.name = site.name;
+    out.gen_err = nilm::disaggregation_error(
         result.generation_estimate.values(), generation.values());
-    const double cons_err = nilm::disaggregation_error(
+    out.cons_err = nilm::disaggregation_error(
         result.consumption_estimate.values(), home.aggregate.values());
     const double true_peak = site.capacity_kw * site.derate * site.tilt_gain;
-    const double scale_err =
-        std::abs(result.scale_kw - true_peak) / true_peak;
+    out.scale_err = std::abs(result.scale_kw - true_peak) / true_peak;
 
-    const auto true_niom = niom::evaluate(attack, home.aggregate,
-                                          home.occupancy, niom::waking_hours());
+    out.true_niom = niom::evaluate(attack, home.aggregate, home.occupancy,
+                                   niom::waking_hours())
+                        .accuracy;
     auto clamped_net = net;
     clamped_net.clamp_min(0.0);
-    const auto net_niom = niom::evaluate(attack, clamped_net, home.occupancy,
-                                         niom::waking_hours());
-    const auto recovered_niom =
+    out.net_niom = niom::evaluate(attack, clamped_net, home.occupancy,
+                                  niom::waking_hours())
+                       .accuracy;
+    out.recovered_niom =
         niom::evaluate(attack, result.consumption_estimate, home.occupancy,
-                       niom::waking_hours());
+                       niom::waking_hours())
+            .accuracy;
+  });
 
+  Table table({"site", "gen err", "cons err", "scale err", "NIOM true",
+               "NIOM net", "NIOM recovered"});
+  for (const auto& r : results) {
     table.add_row()
-        .cell(site.name)
-        .cell(gen_err)
-        .cell(cons_err)
-        .cell(scale_err)
-        .cell(true_niom.accuracy)
-        .cell(net_niom.accuracy)
-        .cell(recovered_niom.accuracy);
+        .cell(r.name)
+        .cell(r.gen_err)
+        .cell(r.cons_err)
+        .cell(r.scale_err)
+        .cell(r.true_niom)
+        .cell(r.net_niom)
+        .cell(r.recovered_niom);
   }
   table.print(std::cout,
               "SunDance recovery quality and downstream occupancy leakage");
@@ -88,8 +108,9 @@ int main() {
   // Location attacks degrade on net data (the consumption signal corrupts
   // the solar signature) — quantify with one site.
   const auto site = synth::fig5_sites()[0];
+  Rng loc_rng(par::shard_seed(5, sites.size()));
   const auto generation =
-      synth::simulate_solar(site, weather, start, kDays, rng);
+      synth::simulate_solar(site, weather, start, kDays, loc_rng);
   Rng home_rng(99);
   const auto home =
       synth::simulate_home(synth::home_b(), start, kDays, home_rng);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <numeric>
 
 #include "common/error.h"
 #include "ml/kmeans.h"
@@ -11,6 +13,37 @@ namespace pmiot::ml {
 namespace {
 
 constexpr double kMinProb = 1e-9;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Joint log-transition tables are only materialized for the naive
+/// reference decoder, and only while they stay small (2048^2 doubles =
+/// 32 MiB); beyond that the reference sums per-chain tables on the fly.
+constexpr std::size_t kNaivePrecomputeMax = 2048;
+
+/// Keeps the `beam` highest entries of `delta` and masks the rest to -inf.
+/// Deterministic under ties: entries strictly above the cutoff all survive,
+/// then entries equal to the cutoff survive in ascending joint-id order
+/// until exactly `beam` remain.
+void prune_to_beam(std::vector<double>& delta, std::size_t beam,
+                   std::vector<double>& scratch) {
+  if (beam == 0 || beam >= delta.size()) return;
+  scratch = delta;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<long>(beam) - 1,
+                   scratch.end(), std::greater<double>());
+  const double cutoff = scratch[beam - 1];
+  std::size_t above = 0;
+  for (double v : delta) above += v > cutoff ? 1 : 0;
+  std::size_t keep_at_cutoff = beam - above;
+  for (auto& v : delta) {
+    if (v > cutoff) continue;
+    if (v == cutoff && keep_at_cutoff > 0) {
+      --keep_at_cutoff;
+      continue;
+    }
+    v = kNegInf;
+  }
+}
 
 }  // namespace
 
@@ -95,76 +128,143 @@ FactorialHmm::FactorialHmm(std::vector<ApplianceChain> chains,
   joint_count_ = 1;
   for (const auto& c : chains_) {
     joint_count_ *= c.num_states();
-    PMIOT_CHECK(joint_count_ <= 4096, "joint state space too large");
+    PMIOT_CHECK(joint_count_ <= kMaxJointStates, "joint state space too large");
   }
+  // Mixed-radix walk over the joint space (chain C-1 is the least
+  // significant digit, matching the joint-id packing).
   joint_power_.resize(joint_count_);
+  std::vector<std::size_t> digits(chains_.size(), 0);
   for (std::size_t j = 0; j < joint_count_; ++j) {
-    const auto states = unpack(j);
     double p = 0.0;
     for (std::size_t c = 0; c < chains_.size(); ++c) {
-      p += chains_[c].state_power[states[c]];
+      p += chains_[c].state_power[digits[c]];
     }
     joint_power_[j] = p;
-  }
-}
-
-std::vector<std::size_t> FactorialHmm::unpack(std::size_t joint) const {
-  std::vector<std::size_t> states(chains_.size());
-  for (std::size_t c = chains_.size(); c-- > 0;) {
-    const auto n = chains_[c].num_states();
-    states[c] = joint % n;
-    joint /= n;
-  }
-  return states;
-}
-
-FhmmDecoding FactorialHmm::decode(std::span<const double> aggregate) const {
-  PMIOT_CHECK(!aggregate.empty(), "need observations");
-  const std::size_t k = joint_count_;
-  const std::size_t t_max = aggregate.size();
-
-  // Precompute per-joint unpacked states and log initial probabilities.
-  std::vector<std::vector<std::size_t>> unpacked(k);
-  std::vector<double> log_init(k, 0.0);
-  for (std::size_t j = 0; j < k; ++j) {
-    unpacked[j] = unpack(j);
-    for (std::size_t c = 0; c < chains_.size(); ++c) {
-      log_init[j] +=
-          std::log(std::max(chains_[c].initial[unpacked[j][c]], kMinProb));
+    for (std::size_t c = chains_.size(); c-- > 0;) {
+      if (++digits[c] < chains_[c].num_states()) break;
+      digits[c] = 0;
     }
   }
+}
 
-  // Joint log transition matrix (k^2 doubles); k is capped at 4096 so the
-  // worst case is 128 MiB — cap the precomputation at 1024 states and fall
-  // back to on-the-fly sums beyond that.
-  const bool precompute = k <= 1024;
-  std::vector<double> log_trans;
-  if (precompute) {
-    log_trans.resize(k * k);
-    for (std::size_t a = 0; a < k; ++a) {
-      for (std::size_t b = 0; b < k; ++b) {
-        double lt = 0.0;
-        for (std::size_t c = 0; c < chains_.size(); ++c) {
-          lt += std::log(std::max(
-              chains_[c].transition[unpacked[a][c]][unpacked[b][c]], kMinProb));
-        }
-        log_trans[a * k + b] = lt;
+std::vector<std::int32_t> FactorialHmm::unpack_all() const {
+  const std::size_t num_chains = chains_.size();
+  std::vector<std::int32_t> flat(joint_count_ * num_chains);
+  std::vector<std::int32_t> digits(num_chains, 0);
+  for (std::size_t j = 0; j < joint_count_; ++j) {
+    std::copy(digits.begin(), digits.end(), flat.begin() + j * num_chains);
+    for (std::size_t c = num_chains; c-- > 0;) {
+      if (++digits[c] < static_cast<std::int32_t>(chains_[c].num_states())) {
+        break;
+      }
+      digits[c] = 0;
+    }
+  }
+  return flat;
+}
+
+void FactorialHmm::chain_log_transitions(
+    std::vector<double>& flat, std::vector<std::size_t>& offsets) const {
+  flat.clear();
+  offsets.resize(chains_.size());
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    offsets[c] = flat.size();
+    const auto& chain = chains_[c];
+    for (std::size_t a = 0; a < chain.num_states(); ++a) {
+      for (std::size_t b = 0; b < chain.num_states(); ++b) {
+        flat.push_back(std::log(std::max(chain.transition[a][b], kMinProb)));
       }
     }
   }
-  auto transition_log = [&](std::size_t a, std::size_t b) {
-    if (precompute) return log_trans[a * k + b];
-    double lt = 0.0;
-    for (std::size_t c = 0; c < chains_.size(); ++c) {
-      lt += std::log(std::max(
-          chains_[c].transition[unpacked[a][c]][unpacked[b][c]], kMinProb));
+}
+
+FhmmDecoding FactorialHmm::decode(std::span<const double> aggregate,
+                                  FhmmDecodeOptions options) const {
+  PMIOT_CHECK(!aggregate.empty(), "need observations");
+  if (options.algorithm == FhmmDecodeAlgorithm::kNaiveJoint) {
+    return decode_naive(aggregate, options);
+  }
+  return decode_factored(aggregate, options);
+}
+
+FhmmDecoding FactorialHmm::backtrack(
+    const std::vector<double>& delta, const std::vector<std::int32_t>& psi,
+    std::size_t t_max, const std::vector<std::int32_t>& unpacked) const {
+  const std::size_t k = joint_count_;
+  const std::size_t num_chains = chains_.size();
+
+  std::vector<std::size_t> path(t_max);
+  const auto last = static_cast<std::size_t>(
+      std::max_element(delta.begin(), delta.end()) - delta.begin());
+  path[t_max - 1] = last;
+  for (std::size_t t = t_max - 1; t-- > 0;) {
+    path[t] = static_cast<std::size_t>(psi[(t + 1) * k + path[t + 1]]);
+  }
+
+  FhmmDecoding out;
+  out.log_likelihood = delta[last];
+  out.appliance_power.assign(num_chains, std::vector<double>(t_max, 0.0));
+  for (std::size_t t = 0; t < t_max; ++t) {
+    const std::int32_t* states = unpacked.data() + path[t] * num_chains;
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      out.appliance_power[c][t] =
+          chains_[c].state_power[static_cast<std::size_t>(states[c])];
     }
-    return lt;
-  };
+  }
+  out.joint_path = std::move(path);
+  return out;
+}
+
+// Reference joint Viterbi, kept bit-compatible with the seed decoder: the
+// per-(a, b) joint log transition is the per-chain logs summed in chain
+// order, and the inner argmax scans predecessors in ascending joint-id order
+// with a strict `>`, so the first (lowest) id wins ties. Relative to the
+// seed, scratch is flat (contiguous psi, flat unpack table, per-chain log
+// tables instead of log() calls in the inner loop) and the joint table is
+// stored transposed so the scan over `a` is sequential — none of which
+// changes any compared value or comparison order.
+FhmmDecoding FactorialHmm::decode_naive(std::span<const double> aggregate,
+                                        const FhmmDecodeOptions& options) const {
+  const std::size_t k = joint_count_;
+  const std::size_t t_max = aggregate.size();
+  const std::size_t num_chains = chains_.size();
+
+  const auto unpacked = unpack_all();
+  std::vector<double> chain_lt;
+  std::vector<std::size_t> lt_offset;
+  chain_log_transitions(chain_lt, lt_offset);
+
+  std::vector<double> log_init(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::int32_t* states = unpacked.data() + j * num_chains;
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      log_init[j] += std::log(std::max(
+          chains_[c].initial[static_cast<std::size_t>(states[c])], kMinProb));
+    }
+  }
+
+  // Transposed joint table: log_trans_t[b * k + a] = sum_c log T_c(a_c, b_c).
+  const bool precompute = k <= kNaivePrecomputeMax;
+  std::vector<double> log_trans_t;
+  if (precompute) {
+    log_trans_t.resize(k * k);
+    for (std::size_t b = 0; b < k; ++b) {
+      const std::int32_t* ub = unpacked.data() + b * num_chains;
+      for (std::size_t a = 0; a < k; ++a) {
+        const std::int32_t* ua = unpacked.data() + a * num_chains;
+        double lt = 0.0;
+        for (std::size_t c = 0; c < num_chains; ++c) {
+          const std::size_t n = chains_[c].num_states();
+          lt += chain_lt[lt_offset[c] + static_cast<std::size_t>(ua[c]) * n +
+                         static_cast<std::size_t>(ub[c])];
+        }
+        log_trans_t[b * k + a] = lt;
+      }
+    }
+  }
 
   const double inv_2var = 0.5 / (noise_stddev_ * noise_stddev_);
-  const double log_norm =
-      -std::log(noise_stddev_ * std::sqrt(2.0 * M_PI));
+  const double log_norm = -std::log(noise_stddev_ * std::sqrt(2.0 * M_PI));
   auto emission_log = [&](std::size_t j, double obs) {
     const double d = obs - joint_power_[j];
     return log_norm - d * d * inv_2var;
@@ -172,46 +272,145 @@ FhmmDecoding FactorialHmm::decode(std::span<const double> aggregate) const {
 
   std::vector<double> delta(k);
   std::vector<double> next_delta(k);
-  std::vector<std::vector<int>> psi(t_max, std::vector<int>(k, 0));
+  std::vector<double> beam_scratch;
+  std::vector<std::int32_t> psi(t_max * k, 0);
 
   for (std::size_t j = 0; j < k; ++j) {
     delta[j] = log_init[j] + emission_log(j, aggregate[0]);
   }
   for (std::size_t t = 1; t < t_max; ++t) {
+    prune_to_beam(delta, options.beam_width, beam_scratch);
     for (std::size_t b = 0; b < k; ++b) {
-      double best = -std::numeric_limits<double>::infinity();
-      int best_prev = 0;
+      const double* row = precompute ? log_trans_t.data() + b * k : nullptr;
+      const std::int32_t* ub = unpacked.data() + b * num_chains;
+      double best = kNegInf;
+      std::int32_t best_prev = 0;
       for (std::size_t a = 0; a < k; ++a) {
-        const double cand = delta[a] + transition_log(a, b);
+        double lt;
+        if (row != nullptr) {
+          lt = row[a];
+        } else {
+          lt = 0.0;
+          const std::int32_t* ua = unpacked.data() + a * num_chains;
+          for (std::size_t c = 0; c < num_chains; ++c) {
+            const std::size_t n = chains_[c].num_states();
+            lt += chain_lt[lt_offset[c] + static_cast<std::size_t>(ua[c]) * n +
+                           static_cast<std::size_t>(ub[c])];
+          }
+        }
+        const double cand = delta[a] + lt;
         if (cand > best) {
           best = cand;
-          best_prev = static_cast<int>(a);
+          best_prev = static_cast<std::int32_t>(a);
         }
       }
       next_delta[b] = best + emission_log(b, aggregate[t]);
-      psi[t][b] = best_prev;
+      psi[t * k + b] = best_prev;
     }
     delta.swap(next_delta);
   }
+  return backtrack(delta, psi, t_max, unpacked);
+}
 
-  std::vector<std::size_t> path(t_max);
-  const auto last = static_cast<std::size_t>(
-      std::max_element(delta.begin(), delta.end()) - delta.begin());
-  path[t_max - 1] = last;
-  for (std::size_t t = t_max - 1; t-- > 0;) {
-    path[t] = static_cast<std::size_t>(psi[t + 1][path[t + 1]]);
-  }
+// Factored (chainwise max-sum) Viterbi. Per timestep, the joint
+// maximization over all K predecessors is computed by eliminating one
+// chain at a time: with `cur` initialized to delta, the stage for chain c
+// replaces coordinate c's "from" index with its "to" index,
+//
+//   next[.., b_c, ..] = max over a_c of cur[.., a_c, ..] + log T_c(a_c, b_c),
+//
+// carrying the originating joint id alongside. After all stages,
+// cur[b] = max_a [delta(a) + sum_c log T_c(a_c, b_c)] for every successor b
+// simultaneously, at K * n_c work per stage instead of K^2 total.
+//
+// Stages run from chain C-1 (least significant joint-id digit) down to
+// chain 0 (most significant) with a strict `>` over ascending a_c, which
+// greedily lexicographically minimizes (a_0, .., a_{C-1}) over the argmax
+// set — i.e. exact ties resolve to the lowest joint id, matching the naive
+// reference's first-index-wins scan.
+FhmmDecoding FactorialHmm::decode_factored(
+    std::span<const double> aggregate, const FhmmDecodeOptions& options) const {
+  const std::size_t k = joint_count_;
+  const std::size_t t_max = aggregate.size();
+  const std::size_t num_chains = chains_.size();
 
-  FhmmDecoding out;
-  out.log_likelihood = delta[last];
-  out.appliance_power.assign(chains_.size(), std::vector<double>(t_max, 0.0));
-  for (std::size_t t = 0; t < t_max; ++t) {
-    const auto& states = unpacked[path[t]];
-    for (std::size_t c = 0; c < chains_.size(); ++c) {
-      out.appliance_power[c][t] = chains_[c].state_power[states[c]];
+  const auto unpacked = unpack_all();
+  std::vector<double> chain_lt;
+  std::vector<std::size_t> lt_offset;
+  chain_log_transitions(chain_lt, lt_offset);
+
+  std::vector<double> log_init(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::int32_t* states = unpacked.data() + j * num_chains;
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      log_init[j] += std::log(std::max(
+          chains_[c].initial[static_cast<std::size_t>(states[c])], kMinProb));
     }
   }
-  return out;
+
+  // stride[c] = product of state counts of chains after c; coordinate c of
+  // joint id j is (j / stride[c]) % n_c.
+  std::vector<std::size_t> stride(num_chains);
+  stride[num_chains - 1] = 1;
+  for (std::size_t c = num_chains - 1; c-- > 0;) {
+    stride[c] = stride[c + 1] * chains_[c + 1].num_states();
+  }
+
+  const double inv_2var = 0.5 / (noise_stddev_ * noise_stddev_);
+  const double log_norm = -std::log(noise_stddev_ * std::sqrt(2.0 * M_PI));
+  auto emission_log = [&](std::size_t j, double obs) {
+    const double d = obs - joint_power_[j];
+    return log_norm - d * d * inv_2var;
+  };
+
+  std::vector<double> delta(k);
+  std::vector<double> next_delta(k);
+  std::vector<double> cur(k), nxt(k);
+  std::vector<std::int32_t> cur_origin(k), nxt_origin(k);
+  std::vector<double> beam_scratch;
+  std::vector<std::int32_t> psi(t_max * k, 0);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    delta[j] = log_init[j] + emission_log(j, aggregate[0]);
+  }
+  for (std::size_t t = 1; t < t_max; ++t) {
+    prune_to_beam(delta, options.beam_width, beam_scratch);
+    std::copy(delta.begin(), delta.end(), cur.begin());
+    std::iota(cur_origin.begin(), cur_origin.end(), 0);
+    for (std::size_t c = num_chains; c-- > 0;) {
+      const std::size_t n = chains_[c].num_states();
+      if (n == 1) continue;  // one-state chain: identity stage
+      const std::size_t s = stride[c];
+      const std::size_t group = n * s;
+      const double* lt = chain_lt.data() + lt_offset[c];
+      for (std::size_t base0 = 0; base0 < k; base0 += group) {
+        for (std::size_t lo = 0; lo < s; ++lo) {
+          const std::size_t base = base0 + lo;
+          for (std::size_t b = 0; b < n; ++b) {
+            double best = kNegInf;
+            std::size_t best_a = 0;
+            for (std::size_t a = 0; a < n; ++a) {
+              const double cand = cur[base + a * s] + lt[a * n + b];
+              if (cand > best) {
+                best = cand;
+                best_a = a;
+              }
+            }
+            nxt[base + b * s] = best;
+            nxt_origin[base + b * s] = cur_origin[base + best_a * s];
+          }
+        }
+      }
+      cur.swap(nxt);
+      cur_origin.swap(nxt_origin);
+    }
+    for (std::size_t b = 0; b < k; ++b) {
+      next_delta[b] = cur[b] + emission_log(b, aggregate[t]);
+      psi[t * k + b] = cur_origin[b];
+    }
+    delta.swap(next_delta);
+  }
+  return backtrack(delta, psi, t_max, unpacked);
 }
 
 }  // namespace pmiot::ml

@@ -186,42 +186,59 @@ std::vector<int> GaussianHmm::viterbi(
   const std::size_t n = params_.num_states();
   const std::size_t t_max = observations.size();
 
-  std::vector<std::vector<double>> delta(t_max, std::vector<double>(n));
-  std::vector<std::vector<int>> psi(t_max, std::vector<int>(n, 0));
+  // Log-emissions computed directly from precomputed per-state constants.
+  // The seed scored states via log(max(gaussian_pdf(...), kMinProb)) — an
+  // exp/log round-trip per (state, t) that also silently flattened every
+  // observation further than ~6 sigma from a state's mean to the same
+  // floored score; the direct form keeps those tails ordered.
+  const double half_log_2pi = 0.5 * std::log(2.0 * M_PI);
+  std::vector<double> log_norm(n), inv_2var(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    log_norm[s] = -std::log(params_.stddev[s]) - half_log_2pi;
+    inv_2var[s] = 0.5 / (params_.stddev[s] * params_.stddev[s]);
+  }
+  auto log_emission = [&](std::size_t s, double x) {
+    const double d = x - params_.mean[s];
+    return log_norm[s] - d * d * inv_2var[s];
+  };
 
-  std::vector<std::vector<double>> log_trans(n, std::vector<double>(n));
+  std::vector<double> log_trans(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      log_trans[i][j] = std::log(std::max(params_.transition[i][j], kMinProb));
+      log_trans[i * n + j] =
+          std::log(std::max(params_.transition[i][j], kMinProb));
     }
   }
 
+  std::vector<double> delta(n), next_delta(n);
+  std::vector<int> psi(t_max * n, 0);
+
   for (std::size_t s = 0; s < n; ++s) {
-    delta[0][s] = std::log(std::max(params_.initial[s], kMinProb)) +
-                  std::log(emission(s, observations[0]));
+    delta[s] = std::log(std::max(params_.initial[s], kMinProb)) +
+               log_emission(s, observations[0]);
   }
   for (std::size_t t = 1; t < t_max; ++t) {
     for (std::size_t s = 0; s < n; ++s) {
       double best = -std::numeric_limits<double>::infinity();
       int best_prev = 0;
       for (std::size_t r = 0; r < n; ++r) {
-        const double cand = delta[t - 1][r] + log_trans[r][s];
+        const double cand = delta[r] + log_trans[r * n + s];
         if (cand > best) {
           best = cand;
           best_prev = static_cast<int>(r);
         }
       }
-      delta[t][s] = best + std::log(emission(s, observations[t]));
-      psi[t][s] = best_prev;
+      next_delta[s] = best + log_emission(s, observations[t]);
+      psi[t * n + s] = best_prev;
     }
+    delta.swap(next_delta);
   }
 
   std::vector<int> path(t_max);
   path[t_max - 1] = static_cast<int>(
-      std::max_element(delta[t_max - 1].begin(), delta[t_max - 1].end()) -
-      delta[t_max - 1].begin());
+      std::max_element(delta.begin(), delta.end()) - delta.begin());
   for (std::size_t t = t_max - 1; t-- > 0;) {
-    path[t] = psi[t + 1][static_cast<std::size_t>(path[t + 1])];
+    path[t] = psi[(t + 1) * n + static_cast<std::size_t>(path[t + 1])];
   }
   return path;
 }

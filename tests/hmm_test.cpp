@@ -193,14 +193,187 @@ TEST(FactorialHmm, DecodesTwoApplianceSum) {
 }
 
 TEST(FactorialHmm, RejectsHugeJointSpace) {
-  // 13 chains x 2 states = 8192 joint states > 4096 cap.
+  // 21 chains x 2 states = 2^21 joint states > the 2^20 cap.
   std::vector<ApplianceChain> chains;
-  for (int i = 0; i < 13; ++i) {
+  for (int i = 0; i < 21; ++i) {
     auto c = two_chains()[0];
     c.name = "c" + std::to_string(i);
     chains.push_back(c);
   }
   EXPECT_THROW(FactorialHmm(chains, 0.1), InvalidArgument);
+}
+
+TEST(FactorialHmm, DecodesBeyondTheOldJointCap) {
+  // 13 chains x 2 states = 8192 joint states — over the seed's 4096 cap,
+  // which only existed to bound the K^2 joint transition table the factored
+  // decoder no longer builds.
+  std::vector<ApplianceChain> chains;
+  for (int i = 0; i < 13; ++i) {
+    auto c = two_chains()[i % 2];
+    c.name = "c" + std::to_string(i);
+    c.state_power[1] = 0.5 + 0.25 * i;
+    chains.push_back(c);
+  }
+  FactorialHmm fhmm(chains, 0.2);
+  EXPECT_EQ(fhmm.joint_state_count(), 8192u);
+  const std::vector<double> aggregate = {0.0, 0.5, 0.75, 0.0};
+  const auto decoding = fhmm.decode(aggregate);
+  ASSERT_EQ(decoding.appliance_power.size(), 13u);
+  ASSERT_EQ(decoding.joint_path.size(), aggregate.size());
+  for (std::size_t j : decoding.joint_path) EXPECT_LT(j, 8192u);
+}
+
+// --- factored vs naive decoder equivalence ----------------------------------
+
+/// Random stochastic vector of length n with all entries bounded away from 0.
+std::vector<double> random_simplex(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = rng.uniform(0.05, 1.0);
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;
+  return v;
+}
+
+/// Random model with `num_chains` chains of 2-5 states each, truncated so
+/// the joint space stays small enough for the naive reference.
+std::vector<ApplianceChain> random_chains(std::size_t num_chains, Rng& rng,
+                                          std::size_t max_joint = 1024) {
+  std::vector<ApplianceChain> chains;
+  std::size_t joint = 1;
+  for (std::size_t c = 0; c < num_chains; ++c) {
+    auto n = static_cast<std::size_t>(rng.uniform_int(2, 5));
+    while (joint * n > max_joint && n > 2) --n;
+    if (joint * n > max_joint) break;
+    joint *= n;
+    ApplianceChain chain;
+    chain.name = "chain" + std::to_string(c);
+    for (std::size_t s = 0; s < n; ++s) {
+      chain.state_power.push_back(s == 0 ? 0.0 : rng.uniform(0.2, 3.0));
+    }
+    chain.initial = random_simplex(n, rng);
+    for (std::size_t s = 0; s < n; ++s) {
+      chain.transition.push_back(random_simplex(n, rng));
+    }
+    chain.validate();
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+/// Samples an aggregate observation trace from the chains plus noise.
+std::vector<double> sample_aggregate(const std::vector<ApplianceChain>& chains,
+                                     std::size_t t_max, double noise,
+                                     Rng& rng) {
+  std::vector<std::size_t> state(chains.size());
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    state[c] = rng.categorical(chains[c].initial);
+  }
+  std::vector<double> aggregate(t_max);
+  for (std::size_t t = 0; t < t_max; ++t) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      total += chains[c].state_power[state[c]];
+      state[c] = rng.categorical(chains[c].transition[state[c]]);
+    }
+    aggregate[t] = total + rng.normal(0.0, noise);
+  }
+  return aggregate;
+}
+
+TEST(FactorialHmm, FactoredMatchesNaiveOnRandomModels) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto num_chains = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const auto chains = random_chains(num_chains, rng);
+    // Trace lengths deliberately include the degenerate T=1 decode.
+    const auto t_max = trial < 3
+                           ? static_cast<std::size_t>(trial + 1)
+                           : static_cast<std::size_t>(rng.uniform_int(2, 60));
+    const double noise = rng.uniform(0.05, 0.4);
+    const auto aggregate = sample_aggregate(chains, t_max, noise, rng);
+
+    FactorialHmm fhmm(chains, noise);
+    FhmmDecodeOptions naive;
+    naive.algorithm = FhmmDecodeAlgorithm::kNaiveJoint;
+    const auto reference = fhmm.decode(aggregate, naive);
+    const auto factored = fhmm.decode(aggregate);
+
+    ASSERT_EQ(factored.joint_path, reference.joint_path)
+        << "trial " << trial << " (" << chains.size() << " chains, K="
+        << fhmm.joint_state_count() << ", T=" << t_max << ")";
+    EXPECT_EQ(factored.appliance_power, reference.appliance_power);
+    EXPECT_NEAR(factored.log_likelihood, reference.log_likelihood,
+                1e-6 * (1.0 + std::fabs(reference.log_likelihood)));
+  }
+}
+
+TEST(FactorialHmm, TieBreaksTowardLowestJointStateLikeNaive) {
+  // Two 2-state chains with *uniform* transitions and initials: every
+  // per-chain log term is the same constant, so candidate scores differ
+  // only via delta, which both decoders compute identically — score ties
+  // are exact. Powers make joints (0,1)=id 1 and (1,0)=id 2 tie exactly
+  // under obs=1.0; both decoders must resolve to id 1 (first-index wins).
+  ApplianceChain a;
+  a.name = "a";
+  a.state_power = {0.0, 1.0};
+  a.initial = {0.5, 0.5};
+  a.transition = {{0.5, 0.5}, {0.5, 0.5}};
+  auto b = a;
+  b.name = "b";
+  const std::vector<ApplianceChain> chains = {a, b};
+  const std::vector<double> aggregate = {1.0, 1.0, 0.0};
+
+  FactorialHmm fhmm(chains, 0.1);
+  FhmmDecodeOptions naive;
+  naive.algorithm = FhmmDecodeAlgorithm::kNaiveJoint;
+  const auto reference = fhmm.decode(aggregate, naive);
+  const auto factored = fhmm.decode(aggregate);
+
+  ASSERT_EQ(factored.joint_path, reference.joint_path);
+  for (std::size_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(factored.joint_path[t], 1u) << "t=" << t;  // (a=0, b=1)
+  }
+  EXPECT_EQ(factored.joint_path[2], 0u);
+}
+
+TEST(FactorialHmm, BeamAtFullWidthMatchesExactDecode) {
+  Rng rng(77);
+  const auto chains = random_chains(4, rng);
+  const auto aggregate = sample_aggregate(chains, 40, 0.1, rng);
+  FactorialHmm fhmm(chains, 0.1);
+
+  const auto exact = fhmm.decode(aggregate);
+  for (const std::size_t beam :
+       {fhmm.joint_state_count(), fhmm.joint_state_count() + 100}) {
+    FhmmDecodeOptions options;
+    options.beam_width = beam;
+    const auto beamed = fhmm.decode(aggregate, options);
+    EXPECT_EQ(beamed.joint_path, exact.joint_path) << "beam=" << beam;
+    EXPECT_EQ(beamed.log_likelihood, exact.log_likelihood);
+  }
+}
+
+TEST(FactorialHmm, NarrowBeamStillDecodesAndAgreesAcrossAlgorithms) {
+  Rng rng(78);
+  const auto chains = random_chains(3, rng);
+  const auto aggregate = sample_aggregate(chains, 30, 0.1, rng);
+  FactorialHmm fhmm(chains, 0.1);
+
+  FhmmDecodeOptions beamed;
+  beamed.beam_width = 4;
+  const auto factored = fhmm.decode(aggregate, beamed);
+  ASSERT_EQ(factored.joint_path.size(), aggregate.size());
+  EXPECT_TRUE(std::isfinite(factored.log_likelihood));
+
+  // The beam prunes on delta values both algorithms compute identically at
+  // t=0; on this short trace the surviving frontier stays aligned, so the
+  // naive decoder under the same beam returns the same path.
+  beamed.algorithm = FhmmDecodeAlgorithm::kNaiveJoint;
+  const auto naive = fhmm.decode(aggregate, beamed);
+  EXPECT_EQ(factored.joint_path, naive.joint_path);
 }
 
 TEST(LearnChain, DiscoversPowerLevels) {

@@ -168,6 +168,24 @@ TEST(FhmmNilm, LearnsAndDecodesFig2Devices) {
   EXPECT_LT(dryer_err, 0.45);
 }
 
+TEST(FhmmNilm, FactoredAndNaiveDecodersAgree) {
+  Rng rng(11);
+  const auto cfg = synth::fig2_home();
+  const auto train = synth::simulate_home(cfg, CivilDate{2017, 5, 1}, 5, rng);
+  const auto test = synth::simulate_home(cfg, CivilDate{2017, 6, 1}, 2, rng);
+
+  FhmmNilmOptions options;
+  options.states_per_appliance = 2;
+  Rng fit_rng(12);
+  FhmmNilm factored(train, {"fridge", "dryer"}, fit_rng, options);
+  options.decode.algorithm = ml::FhmmDecodeAlgorithm::kNaiveJoint;
+  Rng fit_rng2(12);
+  FhmmNilm naive(train, {"fridge", "dryer"}, fit_rng2, options);
+
+  EXPECT_EQ(factored.disaggregate(test.aggregate),
+            naive.disaggregate(test.aggregate));
+}
+
 TEST(FhmmNilm, RejectsUnknownAppliance) {
   Rng rng(7);
   const auto train =
