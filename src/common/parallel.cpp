@@ -155,8 +155,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (error) std::rethrow_exception(error);
 }
 
+namespace {
+
+thread_local ThreadPool* tls_pool_override = nullptr;
+
+}  // namespace
+
+ScopedPoolOverride::ScopedPoolOverride(ThreadPool& pool) noexcept
+    : previous_(tls_pool_override) {
+  tls_pool_override = &pool;
+}
+
+ScopedPoolOverride::~ScopedPoolOverride() { tls_pool_override = previous_; }
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
+  if (tls_pool_override != nullptr) {
+    tls_pool_override->parallel_for(begin, end, body);
+    return;
+  }
   static ThreadPool pool;
   pool.parallel_for(begin, end, body);
 }

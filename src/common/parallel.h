@@ -64,4 +64,22 @@ class ThreadPool {
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
+/// Routes the free `parallel_for` through `pool` on the current thread for
+/// the lifetime of the override. `thread_count()` is evaluated once per
+/// process, so tests use this to exercise a code path at several pool widths
+/// (emulating `PMIOT_THREADS` ∈ {1, 4, ...}) inside one binary and assert
+/// the outputs are bitwise identical. Overrides nest; each restores the
+/// previous pool on destruction.
+class ScopedPoolOverride {
+ public:
+  explicit ScopedPoolOverride(ThreadPool& pool) noexcept;
+  ~ScopedPoolOverride();
+
+  ScopedPoolOverride(const ScopedPoolOverride&) = delete;
+  ScopedPoolOverride& operator=(const ScopedPoolOverride&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
 }  // namespace pmiot::par

@@ -1,0 +1,14 @@
+#include "ml/classifier.h"
+
+#include "common/parallel.h"
+
+namespace pmiot::ml {
+
+std::vector<int> Classifier::predict_all(const Dataset& data) const {
+  std::vector<int> out(data.size());
+  par::parallel_for(0, data.size(),
+                    [&](std::size_t i) { out[i] = predict(data.rows[i]); });
+  return out;
+}
+
+}  // namespace pmiot::ml

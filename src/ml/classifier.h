@@ -28,8 +28,12 @@ class Classifier {
   /// Human-readable model name for report tables.
   virtual std::string name() const = 0;
 
-  /// Convenience: predictions for every row of `data`.
-  std::vector<int> predict_all(const Dataset& data) const;
+  /// Predictions for every row of `data`. The base implementation fans the
+  /// rows out across `pmiot::par`'s shared pool; row i's result is written
+  /// only to slot i, so the output is bitwise identical at any
+  /// `PMIOT_THREADS`. Models with a faster batch kernel (k-NN) override it;
+  /// every override must return exactly what per-row `predict` would.
+  virtual std::vector<int> predict_all(const Dataset& data) const;
 };
 
 }  // namespace pmiot::ml

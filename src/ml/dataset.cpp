@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/error.h"
 
@@ -77,6 +78,46 @@ Dataset take(const Dataset& data, std::span<const std::size_t> indices) {
     out.append(data.rows[i], data.labels[i]);
   }
   return out;
+}
+
+DatasetView::DatasetView(const Dataset& data) {
+  data.validate();
+  PMIOT_CHECK(!data.rows.empty(), "cannot view an empty dataset");
+  n_ = data.size();
+  d_ = data.width();
+  PMIOT_CHECK(n_ <= 0xffffffffULL, "dataset too large for 32-bit row ids");
+  num_classes_ = data.num_classes();
+  labels_ = data.labels;
+  columns_.resize(d_ * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto& row = data.rows[i];
+    for (std::size_t f = 0; f < d_; ++f) columns_[f * n_ + i] = row[f];
+  }
+}
+
+void DatasetView::ensure_sort_index() {
+  if (has_sort_index() || d_ == 0) return;
+  sort_index_.resize(d_ * n_);
+  sorted_values_.resize(d_ * n_);
+  sorted_labels_.resize(d_ * n_);
+  // Sort (value, row) pairs rather than bare row ids so the comparator reads
+  // contiguous memory instead of gathering through the index.
+  std::vector<std::pair<double, std::uint32_t>> keyed(n_);
+  for (std::size_t f = 0; f < d_; ++f) {
+    const double* col = columns_.data() + f * n_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      keyed[i] = {col[i], static_cast<std::uint32_t>(i)};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::uint32_t* idx = sort_index_.data() + f * n_;
+    double* vals = sorted_values_.data() + f * n_;
+    int* labs = sorted_labels_.data() + f * n_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      idx[i] = keyed[i].second;
+      vals[i] = keyed[i].first;
+      labs[i] = labels_[keyed[i].second];
+    }
+  }
 }
 
 void StandardScaler::fit(const Dataset& data) {

@@ -12,6 +12,21 @@
 
 namespace pmiot::ml {
 
+/// Split-search strategy. Both strategies choose identical splits (the
+/// score arithmetic and tie-breaking are shared bit for bit); they differ
+/// only in how the candidate boundaries are enumerated.
+enum class SplitAlgorithm {
+  /// Default: argsort every feature once at fit time, then grow the tree
+  /// with linear scans over the presorted order and a stable partition of
+  /// that order at each split — O(d·n) per level instead of
+  /// O(d·n·log n) per node.
+  kPresorted,
+  /// Reference (the seed implementation): re-sort every candidate feature
+  /// at every node. Kept for the equivalence self-checks in
+  /// `bench/ml_train` and the randomized property tests.
+  kPerNodeSort,
+};
+
 /// Hyper-parameters for tree induction.
 struct TreeOptions {
   int max_depth = 12;           ///< hard depth limit
@@ -19,6 +34,7 @@ struct TreeOptions {
   /// Number of candidate features per split; 0 means all features
   /// (set to sqrt(width) by the random forest).
   std::size_t max_features = 0;
+  SplitAlgorithm split_algorithm = SplitAlgorithm::kPresorted;
 };
 
 class DecisionTree final : public Classifier {
@@ -29,10 +45,19 @@ class DecisionTree final : public Classifier {
   int predict(std::span<const double> row) const override;
   std::string name() const override { return "decision-tree"; }
 
+  /// Fits on `view` restricted to the rows listed in `sample` (duplicates
+  /// allowed — a bootstrap draw is just a multiset of row ids). This is the
+  /// random forest's path: no per-tree copy of the dataset, and `view`'s
+  /// shared `sort_index` (if present) replaces the per-tree argsort with a
+  /// linear counting pass. Equivalent to `fit` on the materialized sample.
+  void fit_view(const DatasetView& view, std::span<const std::size_t> sample);
+
   std::size_t node_count() const noexcept { return nodes_.size(); }
   int depth() const noexcept { return depth_; }
 
  private:
+  friend class PresortedBuilder;
+
   struct Node {
     int feature = -1;      ///< -1 for leaves
     double threshold = 0;  ///< go left when x[feature] <= threshold

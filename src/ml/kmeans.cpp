@@ -18,6 +18,14 @@ double dist2(std::span<const double> a, std::span<const double> b) {
   return s;
 }
 
+// Scalar twin of dist2 for the 1-D path. (a-b)² is bitwise identical to the
+// width-1 loop above: d*d is never -0.0, so the 0.0 + d*d accumulation is
+// exact.
+double dist2_1d(double a, double b) {
+  const double d = a - b;
+  return d * d;
+}
+
 }  // namespace
 
 KMeansResult kmeans(const std::vector<std::vector<double>>& rows, int k,
@@ -55,6 +63,9 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& rows, int k,
   }
 
   result.assignment.assign(rows.size(), 0);
+  const std::size_t nc = result.centroids.size();  // fixed after seeding
+  std::vector<double> sums(nc * width);
+  std::vector<std::size_t> counts(nc);
   for (int iter = 0; iter < max_iterations; ++iter) {
     result.iterations = iter + 1;
     bool changed = false;
@@ -62,7 +73,7 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& rows, int k,
     for (std::size_t i = 0; i < rows.size(); ++i) {
       int best = 0;
       double best_d = std::numeric_limits<double>::max();
-      for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      for (std::size_t c = 0; c < nc; ++c) {
         const double d = dist2(rows[i], result.centroids[c]);
         if (d < best_d) {
           best_d = d;
@@ -75,18 +86,18 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& rows, int k,
       }
     }
     // Update.
-    std::vector<std::vector<double>> sums(result.centroids.size(),
-                                          std::vector<double>(width, 0.0));
-    std::vector<std::size_t> counts(result.centroids.size(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto c = static_cast<std::size_t>(result.assignment[i]);
       ++counts[c];
-      for (std::size_t f = 0; f < width; ++f) sums[c][f] += rows[i][f];
+      for (std::size_t f = 0; f < width; ++f) sums[c * width + f] += rows[i][f];
     }
-    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+    for (std::size_t c = 0; c < nc; ++c) {
       if (counts[c] == 0) continue;  // keep old centroid for empty cluster
       for (std::size_t f = 0; f < width; ++f) {
-        result.centroids[c][f] = sums[c][f] / static_cast<double>(counts[c]);
+        result.centroids[c][f] =
+            sums[c * width + f] / static_cast<double>(counts[c]);
       }
     }
     if (!changed) break;
@@ -100,12 +111,88 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& rows, int k,
   return result;
 }
 
+// Dedicated scalar path: same algorithm as `kmeans` statement for statement
+// (same RNG draws, same floating-point operation order), but points and
+// centroids live in flat double vectors instead of a vector of single-element
+// rows. Results are bitwise identical to kmeans() on singleton rows.
 KMeansResult kmeans1d(std::span<const double> xs, int k, Rng& rng,
                       int max_iterations) {
-  std::vector<std::vector<double>> rows;
-  rows.reserve(xs.size());
-  for (double x : xs) rows.push_back({x});
-  return kmeans(rows, k, rng, max_iterations);
+  PMIOT_CHECK(!xs.empty(), "kmeans needs data");
+  PMIOT_CHECK(k >= 1, "k must be at least 1");
+  PMIOT_CHECK(max_iterations >= 1, "max_iterations must be at least 1");
+  const auto kk = std::min<std::size_t>(static_cast<std::size_t>(k), xs.size());
+
+  // k-means++ seeding.
+  std::vector<double> centroids;
+  centroids.push_back(xs[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1))]);
+  std::vector<double> min_d2(xs.size(), std::numeric_limits<double>::max());
+  while (centroids.size() < kk) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      min_d2[i] = std::min(min_d2[i], dist2_1d(xs[i], centroids.back()));
+    }
+    double total = 0.0;
+    for (double d : min_d2) total += d;
+    if (total <= 0.0) break;  // all points coincide with centroids
+    double draw = rng.uniform() * total;
+    std::size_t chosen = xs.size() - 1;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      draw -= min_d2[i];
+      if (draw <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(xs[chosen]);
+  }
+
+  KMeansResult result;
+  result.assignment.assign(xs.size(), 0);
+  const std::size_t nc = centroids.size();
+  std::vector<double> sums(nc);
+  std::vector<std::size_t> counts(nc);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    // Assign.
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < nc; ++c) {
+        const double d = dist2_1d(xs[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      sums[c] += xs[i];
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (counts[c] == 0) continue;  // keep old centroid for empty cluster
+      centroids[c] = sums[c] / static_cast<double>(counts[c]);
+    }
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    result.inertia += dist2_1d(
+        xs[i], centroids[static_cast<std::size_t>(result.assignment[i])]);
+  }
+  result.centroids.reserve(nc);
+  for (double c : centroids) result.centroids.push_back({c});
+  return result;
 }
 
 }  // namespace pmiot::ml

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace pmiot::ml {
 
@@ -24,18 +25,34 @@ void RandomForest::fit(const Dataset& data) {
         std::max(1.0, std::round(std::sqrt(static_cast<double>(data.width())))));
   }
 
-  for (int t = 0; t < options_.num_trees; ++t) {
-    // Bootstrap sample (with replacement), same size as the training set.
-    Dataset sample;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      const auto j = static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
-      sample.append(data.rows[j], data.labels[j]);
+  // Draw every tree's bootstrap rows (with replacement, training-set size)
+  // and its seed up front, in the exact RNG order of the old sequential
+  // fit: n index draws, then the seed, per tree. Tree t then depends only
+  // on (samples[t], seeds[t]), never on scheduling.
+  const std::size_t n = data.size();
+  const auto num_trees = static_cast<std::size_t>(options_.num_trees);
+  std::vector<std::vector<std::size_t>> samples(num_trees);
+  std::vector<std::uint64_t> seeds(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    samples[t].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[t][i] = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
     }
-    DecisionTree tree(tree_options, rng_.next());
-    tree.fit(sample);
-    trees_.push_back(std::move(tree));
+    seeds[t] = rng_.next();
   }
+
+  // One columnar view (and one per-feature argsort) shared read-only by
+  // every tree; a bootstrap is an index vector into it, not a row copy.
+  DatasetView view(data);
+  view.ensure_sort_index();
+
+  trees_.assign(num_trees, DecisionTree(tree_options, 0));
+  par::parallel_for(0, num_trees, [&](std::size_t t) {
+    DecisionTree tree(tree_options, seeds[t]);
+    tree.fit_view(view, samples[t]);
+    trees_[t] = std::move(tree);
+  });
 }
 
 int RandomForest::predict(std::span<const double> row) const {

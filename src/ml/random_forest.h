@@ -14,6 +14,14 @@ struct ForestOptions {
   TreeOptions tree;  ///< tree.max_features 0 -> sqrt(width) at fit time
 };
 
+/// Fit strategy: every tree's bootstrap rows and seed are drawn up front in
+/// the sequential order the seed implementation used, after which tree t
+/// depends only on (sample[t], seed[t]). The trees then train in parallel
+/// over `pmiot::par`'s shared pool against one shared columnar
+/// `DatasetView` (bootstrap = index vector, not a row copy), each writing
+/// only slot t — so the fitted forest is bitwise identical at any
+/// `PMIOT_THREADS`, and bitwise identical to the old serial fit.
+
 class RandomForest final : public Classifier {
  public:
   explicit RandomForest(ForestOptions options = {}, std::uint64_t seed = 7);

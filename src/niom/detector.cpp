@@ -168,11 +168,13 @@ std::vector<int> SupervisedNiom::detect(const ts::TimeSeries& power) const {
   PMIOT_CHECK(fitted_, "call fit() before detect()");
   const std::size_t w = window_samples(power, options_.window_minutes);
   const auto windows = ts::window_stats(power.values(), w, w);
-  std::vector<int> labels;
-  labels.reserve(windows.size());
+  // Batch all window features into one dataset so the kNN blocked batch
+  // kernel can amortize the training matrix over every query.
+  ml::Dataset queries;
   for (const auto& win : windows) {
-    labels.push_back(knn_.predict(scaler_.transform(window_feature_row(win))));
+    queries.append(scaler_.transform(window_feature_row(win)), 0);
   }
+  const auto labels = knn_.predict_all(queries);
   return expand(labels, w, power.size());
 }
 
