@@ -15,7 +15,9 @@ namespace {
 std::string timestamp_of(const TimeSeries& series, std::size_t i) {
   const auto date = series.date_at(i);
   const int minute = series.minute_of_day_at(i);
-  char buf[24];
+  // Sized for the full int range of every field: out-of-range dates must
+  // round-trip unmangled rather than silently truncate.
+  char buf[64];
   std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d", date.year,
                 date.month, date.day, minute / 60, minute % 60);
   return buf;
