@@ -158,7 +158,12 @@ void GaussianHmm::backward(std::span<const double> observations,
                            std::vector<std::vector<double>>& beta) const {
   const std::size_t n = params_.num_states();
   const std::size_t t_max = observations.size();
-  beta.assign(t_max, std::vector<double>(n, 0.0));
+  // Row-wise assign instead of assign(t_max, prototype): the prototype
+  // temporary's destructor trips GCC 12's -Wfree-nonheap-object false
+  // positive once inlined, and row-wise reuse also keeps existing row
+  // capacity across Baum-Welch iterations.
+  beta.resize(t_max);
+  for (auto& row : beta) row.assign(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) beta[t_max - 1][s] = 1.0;
   for (std::size_t t = t_max - 1; t-- > 0;) {
     for (std::size_t s = 0; s < n; ++s) {
