@@ -31,7 +31,8 @@ void render_home(const synth::HomeConfig& config, std::uint64_t seed) {
                                   static_cast<std::size_t>(m)] != 0;
       ++total;
     }
-    const double frac = static_cast<double>(occupied) / total;
+    const double frac =
+        static_cast<double>(occupied) / static_cast<double>(total);
     const double score = 1.0 - std::abs(frac - 0.55);
     if (score > best_score) {
       best_score = score;

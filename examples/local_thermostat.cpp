@@ -72,7 +72,10 @@ int main() {
       static_cast<long long>(setback_minutes / 30));
   table.add_row().cell("of which actually vacant").cell(
       setback_minutes > 0
-          ? format_double(100.0 * correct_setbacks / setback_minutes, 1) + " %"
+          ? format_double(100.0 * static_cast<double>(correct_setbacks) /
+                              static_cast<double>(setback_minutes),
+                          1) +
+                " %"
           : "-");
   table.add_row().cell("bill (tariff units)").cell(
       static_cast<long long>(bill.bill));

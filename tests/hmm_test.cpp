@@ -56,7 +56,8 @@ TEST(GaussianHmm, ViterbiRecoversStates) {
   for (std::size_t t = 0; t < truth.size(); ++t) {
     correct += decoded[t] == truth[t] ? 1 : 0;
   }
-  EXPECT_GT(static_cast<double>(correct) / truth.size(), 0.98);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(truth.size()),
+            0.98);
 }
 
 TEST(GaussianHmm, LogLikelihoodPrefersTrueModel) {

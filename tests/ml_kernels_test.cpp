@@ -119,7 +119,7 @@ TEST(PresortedTree, DuplicatedValuesCorner) {
   for (int i = 0; i < 500; ++i) {
     std::vector<double> row(4);
     for (auto& x : row) x = static_cast<double>(rng.uniform_int(0, 3));
-    train.append(std::move(row), rng.uniform_int(0, 2));
+    train.append(std::move(row), static_cast<int>(rng.uniform_int(0, 2)));
   }
   const Dataset probe = random_clusters(100, 4, 3, rng);
   for (std::uint64_t seed : {1u, 2u, 3u}) {

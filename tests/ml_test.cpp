@@ -86,7 +86,9 @@ TEST(Dataset, TrainTestSplitPartitions) {
   auto data = two_blobs(50, rng);
   const auto split = train_test_split(data, 0.3, rng);
   EXPECT_EQ(split.train.size() + split.test.size(), data.size());
-  EXPECT_NEAR(static_cast<double>(split.test.size()) / data.size(), 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(split.test.size()) /
+                  static_cast<double>(data.size()),
+              0.3, 0.02);
   EXPECT_THROW(train_test_split(data, 0.0, rng), InvalidArgument);
   EXPECT_THROW(train_test_split(data, 1.0, rng), InvalidArgument);
 }

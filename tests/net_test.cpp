@@ -139,7 +139,9 @@ TEST(Device, InfectionStartsOnTime) {
   const auto packets = simulate_device(profile, 600.0, rng);
   const auto sink = make_ip(198, 51, 100, 23);
   for (const auto& p : packets) {
-    if (p.dst_ip == sink) EXPECT_GE(p.timestamp_s, 300.0);
+    if (p.dst_ip == sink) {
+      EXPECT_GE(p.timestamp_s, 300.0);
+    }
   }
 }
 
@@ -431,7 +433,8 @@ TEST(WindowAccumulator, MatchesReferenceOnSimulatedHome) {
     ASSERT_EQ(rows.size(), 3u);
     for (std::size_t w = 0; w < rows.size(); ++w) {
       const auto reference = extract_window_features(
-          home.packets, device.ip, w * 600.0, (w + 1) * 600.0);
+          home.packets, device.ip, static_cast<double>(w) * 600.0,
+          static_cast<double>(w + 1) * 600.0);
       for (std::size_t k = 0; k < reference.size(); ++k) {
         EXPECT_EQ(rows[w].features[k], reference[k]) << device.name;
       }

@@ -111,7 +111,8 @@ TEST(Appliance, CyclicalDutyFractionMatchesModel) {
   std::size_t on = 0;
   for (double v : kw) on += v > 0.05 ? 1 : 0;
   const double duty = spec.duty_on_min / (spec.duty_on_min + spec.duty_off_min);
-  EXPECT_NEAR(static_cast<double>(on) / kw.size(), duty, 0.05);
+  EXPECT_NEAR(static_cast<double>(on) / static_cast<double>(kw.size()), duty,
+              0.05);
 }
 
 TEST(Appliance, StartupSpikeAppears) {
