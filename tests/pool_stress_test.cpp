@@ -1,0 +1,158 @@
+// ThreadPool stress tests for the tsan preset: hammer the pool with mixed
+// task shapes — tiny batches, wide batches, uneven per-iteration work,
+// exception unwinding, nested calls, back-to-back reuse — at pool widths
+// {1, 2, 16}, asserting the determinism contract (slot-per-shard output
+// identical at every width) along the way. Under -DPMIOT_SANITIZE=thread
+// these are the tests that give TSan something to bite on; they are cheap
+// enough to run in the default preset too.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace {
+
+using pmiot::par::ScopedPoolOverride;
+using pmiot::par::ThreadPool;
+
+// The widths the issue pins: degenerate (inline), minimal handoff, and
+// heavily oversubscribed on small CI machines.
+const std::size_t kWidths[] = {1, 2, 16};
+
+// Deterministic per-iteration work whose cost varies by index, so shards
+// finish out of order and the atomic-cursor handoff gets exercised.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t uneven_work(std::size_t i) {
+  std::uint64_t acc = pmiot::par::shard_seed(7, i);
+  const std::size_t rounds = 1 + (i % 97) * 11;
+  for (std::size_t r = 0; r < rounds; ++r) acc = mix(acc + r);
+  return acc;
+}
+
+TEST(PoolStress, MixedShapesMatchSerialAtEveryWidth) {
+  constexpr std::size_t kItems = 513;  // odd, larger than any width
+  std::vector<std::uint64_t> expected(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) expected[i] = uneven_work(i);
+
+  for (const std::size_t width : kWidths) {
+    ThreadPool pool(width);
+    ScopedPoolOverride override_(pool);
+    std::vector<std::uint64_t> out(kItems, 0);
+    pmiot::par::parallel_for(0, kItems, [&](std::size_t i) {
+      out[i] = uneven_work(i);
+    });
+    EXPECT_EQ(out, expected) << "width " << width;
+  }
+}
+
+TEST(PoolStress, ManySmallBatchesReuseThePool) {
+  // Batch sizes cycle through awkward shapes: empty, single, width-1,
+  // width, width+1, and a wide burst. Reusing one pool across hundreds of
+  // batches stresses the generation/wake handshake.
+  for (const std::size_t width : kWidths) {
+    ThreadPool pool(width);
+    std::uint64_t checksum = 0;
+    std::uint64_t expected = 0;
+    const std::size_t shapes[] = {0, 1, width > 1 ? width - 1 : 1,
+                                  width, width + 1, 64};
+    for (std::size_t round = 0; round < 200; ++round) {
+      const std::size_t n = shapes[round % 6];
+      std::vector<std::uint64_t> slot(n, 0);
+      pool.parallel_for(0, n, [&](std::size_t i) {
+        slot[i] = mix(round * 1000 + i);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        checksum ^= slot[i];
+        expected ^= mix(round * 1000 + i);
+      }
+    }
+    EXPECT_EQ(checksum, expected) << "width " << width;
+  }
+}
+
+TEST(PoolStress, AtomicCountersSeeEveryIteration) {
+  for (const std::size_t width : kWidths) {
+    ThreadPool pool(width);
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    constexpr std::size_t kItems = 10000;
+    pool.parallel_for(0, kItems, [&](std::size_t i) {
+      count.fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), kItems);
+    EXPECT_EQ(sum.load(), kItems * (kItems - 1) / 2);
+  }
+}
+
+TEST(PoolStress, NestedCallsRunInlineUnderLoad) {
+  for (const std::size_t width : kWidths) {
+    ThreadPool pool(width);
+    std::vector<std::uint64_t> out(32 * 32, 0);
+    pool.parallel_for(0, 32, [&](std::size_t i) {
+      // Nesting is the behaviour under test. pmiot-lint: allow(nested-par)
+      pool.parallel_for(0, 32, [&](std::size_t j) {
+        out[i * 32 + j] = mix(i * 32 + j);
+      });
+    });
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      EXPECT_EQ(out[k], mix(k)) << k;
+    }
+  }
+}
+
+TEST(PoolStress, ExceptionUnwindingLeavesPoolUsable) {
+  for (const std::size_t width : kWidths) {
+    ThreadPool pool(width);
+    for (std::size_t round = 0; round < 20; ++round) {
+      EXPECT_THROW(
+          pool.parallel_for(0, 256,
+                            [&](std::size_t i) {
+                              if (i % 17 == 3) {
+                                throw std::runtime_error("shard failure");
+                              }
+                            }),
+          std::runtime_error);
+      // The pool must come back clean for the next batch.
+      std::atomic<std::size_t> ran{0};
+      pool.parallel_for(0, 64, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+      EXPECT_EQ(ran.load(), 64u);
+    }
+  }
+}
+
+TEST(PoolStress, OverridesNestAcrossWidths) {
+  // A wide pool delegating to a narrow override and back: the override
+  // stack is thread-local, so this exercises restore ordering.
+  ThreadPool wide(16);
+  ThreadPool narrow(2);
+  std::vector<std::uint64_t> a(100, 0), b(100, 0);
+  {
+    ScopedPoolOverride outer(wide);
+    pmiot::par::parallel_for(0, a.size(), [&](std::size_t i) {
+      a[i] = uneven_work(i);
+    });
+    {
+      ScopedPoolOverride inner(narrow);
+      pmiot::par::parallel_for(0, b.size(), [&](std::size_t i) {
+        b[i] = uneven_work(i);
+      });
+    }
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
