@@ -42,6 +42,9 @@ int main() {
   };
   std::vector<HomeResult> results(population.size());
   par::parallel_for(0, population.size(), [&](std::size_t i) {
+    // Seed depends only on the shard index, so the run is thread-count
+    // invariant; predates shard_seed and is pinned to keep the published
+    // accuracy table bitwise stable. pmiot-lint: allow(par-rng-seed)
     Rng rng(1000 + i);
     const auto train = synth::simulate_home(population[i],
                                             CivilDate{2017, 5, 29},

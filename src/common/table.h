@@ -5,6 +5,7 @@
 // against the paper's reported series at a glance.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

@@ -17,7 +17,9 @@
 //     cloud seeing nothing.
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "ml/hmm.h"

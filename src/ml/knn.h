@@ -10,6 +10,11 @@
 // deterministic even with duplicated training points.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "ml/classifier.h"
 
 namespace pmiot::ml {

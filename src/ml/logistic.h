@@ -3,6 +3,9 @@
 // privacy-knob evaluator uses to measure residual leakage.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "ml/classifier.h"

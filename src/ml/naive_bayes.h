@@ -5,6 +5,8 @@
 // fingerprinting comparison.
 #pragma once
 
+#include <span>
+#include <string>
 #include <vector>
 
 #include "ml/classifier.h"

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "ml/decision_tree.h"

@@ -9,6 +9,7 @@
 // passively monitors and uploads what it sees.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

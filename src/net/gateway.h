@@ -9,8 +9,10 @@
 //     (all traffic dropped except DNS, so remediation is still possible).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 

@@ -73,7 +73,8 @@ class FlowTable {
   /// ordering).
   void add(const Packet& packet);
 
-  /// All flows, including ones still active.
+  /// All flows, including ones still active, in first-packet order —
+  /// deterministic because it reflects packet arrival, never hash order.
   const std::vector<Flow>& flows() const noexcept { return flows_; }
 
  private:
@@ -82,6 +83,14 @@ class FlowTable {
   // Index into `flows_` of the active flow per key. Tables in the
   // evaluation hold a few thousand flows and every packet does a lookup,
   // so this must not degrade to a linear scan.
+  //
+  // Determinism contract: this map is only ever probed point-wise
+  // (find/erase/insert in FlowTable::add) and MUST NOT be iterated — all
+  // user-visible output flows through `flows_`, whose insertion order is
+  // the packet order. pmiot-lint's `unordered-iter` rule enforces this
+  // mechanically: iterating `active_` anywhere in this translation unit
+  // fails the `pmiot_lint.tree` ctest unless the site carries an explicit
+  // allow with a justification.
   std::unordered_map<FlowKey, std::size_t, FlowKeyHash> active_;
 };
 

@@ -6,6 +6,7 @@
 // aggregate test trace with exact Viterbi over the factorial state space.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

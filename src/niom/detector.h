@@ -10,6 +10,7 @@
 //     Gaussian HMM over window features, higher-power state = occupied.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -6,6 +6,7 @@
 // NIOM evaluation's reference).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "geo/solar_geometry.h"

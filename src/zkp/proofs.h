@@ -10,6 +10,7 @@
 //    that the weighted product of bit commitments reopens the original).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "zkp/pedersen.h"

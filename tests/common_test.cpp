@@ -466,6 +466,7 @@ TEST(Parallel, NestedForRunsInline) {
   par::ThreadPool pool(4);
   std::vector<int> out(16, 0);
   pool.parallel_for(0, 4, [&](std::size_t i) {
+    // Nesting is the behaviour under test. pmiot-lint: allow(nested-par)
     pool.parallel_for(0, 4, [&](std::size_t j) {
       out[i * 4 + j] = static_cast<int>(i * 4 + j);
     });

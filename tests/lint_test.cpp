@@ -1,0 +1,262 @@
+// pmiot_lint core tests: every rule must fire on a fixture containing its
+// banned pattern, stay quiet on the clean variant, honour allow(...)
+// suppressions, and report stale or unknown suppressions. Fixtures are
+// embedded strings, so these tests never depend on the repo checkout.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pmiot_lint/lint.h"
+
+namespace {
+
+using pmiot::lint::Diagnostic;
+using pmiot::lint::lint_source;
+
+std::vector<std::string> rules_of(const std::string& path,
+                                  const std::string& source) {
+  std::vector<std::string> rules;
+  for (const auto& diagnostic : lint_source(path, source)) {
+    rules.push_back(diagnostic.rule);
+  }
+  return rules;
+}
+
+TEST(Lint, CleanSourceHasNoFindings) {
+  const std::string source = R"cpp(
+    #include <cstdint>
+    #include <vector>
+    namespace pmiot {
+    int add(int a, int b) { return a + b; }
+    }  // namespace pmiot
+  )cpp";
+  EXPECT_TRUE(rules_of("src/common/add.cpp", source).empty());
+}
+
+TEST(Lint, FlagsRawRand) {
+  EXPECT_EQ(rules_of("src/a.cpp", "int x = rand();"),
+            std::vector<std::string>{"raw-rand"});
+  EXPECT_EQ(rules_of("src/a.cpp", "srand(42);"),
+            std::vector<std::string>{"raw-rand"});
+  EXPECT_EQ(rules_of("src/a.cpp", "std::random_device rd;"),
+            std::vector<std::string>{"raw-rand"});
+  // `rand` as part of a longer identifier is not a hit.
+  EXPECT_TRUE(rules_of("src/a.cpp", "int operand = 3; grand(operand);")
+                  .empty());
+  // ...and neither is the word in a comment or a string literal.
+  EXPECT_TRUE(rules_of("src/a.cpp", "// call rand() here?\n").empty());
+  EXPECT_TRUE(
+      rules_of("src/a.cpp", "const char* s = \"rand()\";").empty());
+}
+
+TEST(Lint, FlagsWallClock) {
+  EXPECT_EQ(rules_of("src/a.cpp", "auto t = time(nullptr);"),
+            std::vector<std::string>{"wall-clock"});
+  EXPECT_EQ(rules_of("src/a.cpp", "auto t = std::time(NULL);"),
+            std::vector<std::string>{"wall-clock"});
+  EXPECT_EQ(rules_of("bench/b.cpp",
+                     "auto t = std::chrono::system_clock::now();"),
+            std::vector<std::string>{"wall-clock"});
+  // A named timestamp function of the same suffix is fine.
+  EXPECT_TRUE(rules_of("src/a.cpp", "double t = packet_time(3);").empty());
+  // time() with a real argument is not the wall-clock pattern.
+  EXPECT_TRUE(rules_of("src/a.cpp", "auto t = time(&buffer);").empty());
+}
+
+TEST(Lint, FlagsSteadyClockOnlyUnderSrc) {
+  const std::string source =
+      "auto t0 = std::chrono::steady_clock::now();";
+  EXPECT_EQ(rules_of("src/ml/a.cpp", source),
+            std::vector<std::string>{"src-timing"});
+  // Timing harnesses in bench/ and tests/ are the legitimate home.
+  EXPECT_TRUE(rules_of("bench/a.cpp", source).empty());
+  EXPECT_TRUE(rules_of("tests/a.cpp", source).empty());
+}
+
+TEST(Lint, FlagsUnseededRngInParallelFor) {
+  const std::string bad = R"cpp(
+    par::parallel_for(0, n, [&](std::size_t i) {
+      Rng rng(42);
+      out[i] = rng.uniform();
+    });
+  )cpp";
+  EXPECT_EQ(rules_of("src/a.cpp", bad),
+            std::vector<std::string>{"par-rng-seed"});
+
+  const std::string shard_seeded = R"cpp(
+    par::parallel_for(0, n, [&](std::size_t i) {
+      Rng rng(par::shard_seed(base, i));
+      out[i] = rng.uniform();
+    });
+  )cpp";
+  EXPECT_TRUE(rules_of("src/a.cpp", shard_seeded).empty());
+
+  // Pre-drawn per-shard seeds (the random_forest pattern) also count.
+  const std::string predrawn = R"cpp(
+    par::parallel_for(0, n, [&](std::size_t i) {
+      Rng rng(seeds[i]);
+      out[i] = rng.uniform();
+    });
+  )cpp";
+  EXPECT_TRUE(rules_of("src/a.cpp", predrawn).empty());
+
+  // Outside any parallel region an unseeded-looking Rng is fine.
+  EXPECT_TRUE(rules_of("src/a.cpp", "Rng rng(42);").empty());
+}
+
+TEST(Lint, FlagsNestedParallelFor) {
+  const std::string bad = R"cpp(
+    par::parallel_for(0, n, [&](std::size_t i) {
+      par::parallel_for(0, m, [&](std::size_t j) { use(i, j); });
+    });
+  )cpp";
+  EXPECT_EQ(rules_of("src/a.cpp", bad),
+            std::vector<std::string>{"nested-par"});
+
+  const std::string sequential = R"cpp(
+    par::parallel_for(0, n, [&](std::size_t i) { use(i); });
+    par::parallel_for(0, m, [&](std::size_t j) { use(j); });
+  )cpp";
+  EXPECT_TRUE(rules_of("src/a.cpp", sequential).empty());
+}
+
+TEST(Lint, FlagsUnorderedIteration) {
+  const std::string range_for = R"cpp(
+    std::unordered_map<int, double> totals;
+    for (const auto& [k, v] : totals) emit(k, v);
+  )cpp";
+  EXPECT_EQ(rules_of("src/a.cpp", range_for),
+            std::vector<std::string>{"unordered-iter"});
+
+  const std::string begin_walk = R"cpp(
+    std::unordered_set<int> seen;
+    auto it = seen.begin();
+  )cpp";
+  EXPECT_EQ(rules_of("src/a.cpp", begin_walk),
+            std::vector<std::string>{"unordered-iter"});
+
+  // Point lookups and membership tests are exactly what the container is
+  // for — only traversal is order-sensitive.
+  const std::string lookups = R"cpp(
+    std::unordered_map<int, double> totals;
+    totals[3] = 1.0;
+    if (totals.find(4) != totals.end()) totals.erase(4);
+  )cpp";
+  EXPECT_TRUE(rules_of("src/a.cpp", lookups).empty());
+
+  // Iterating an ordered container with a similar name is fine.
+  const std::string ordered = R"cpp(
+    std::map<int, double> totals;
+    for (const auto& [k, v] : totals) emit(k, v);
+  )cpp";
+  EXPECT_TRUE(rules_of("src/a.cpp", ordered).empty());
+}
+
+TEST(Lint, FlagsAtomicFloat) {
+  EXPECT_EQ(rules_of("src/a.cpp", "std::atomic<double> sum{0.0};"),
+            std::vector<std::string>{"atomic-float"});
+  EXPECT_EQ(rules_of("src/a.cpp", "std::atomic<float> sum{0.f};"),
+            std::vector<std::string>{"atomic-float"});
+  EXPECT_TRUE(
+      rules_of("src/a.cpp", "std::atomic<std::size_t> hits{0};").empty());
+}
+
+TEST(Lint, FlagsMissingIncludeInHeader) {
+  const std::string bad = R"cpp(
+    #pragma once
+    #include <string>
+    std::vector<int> numbers();
+  )cpp";
+  const auto diagnostics = lint_source("src/a.h", bad);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "include-hygiene");
+  EXPECT_NE(diagnostics[0].message.find("<vector>"), std::string::npos);
+
+  const std::string good = R"cpp(
+    #pragma once
+    #include <string>
+    #include <vector>
+    std::vector<std::string> names();
+  )cpp";
+  EXPECT_TRUE(rules_of("src/a.h", good).empty());
+
+  // Implementation files may lean on their headers' includes.
+  EXPECT_TRUE(rules_of("src/a.cpp", bad).empty());
+}
+
+TEST(Lint, DiagnosticCarriesFileLineAndCompilerShape) {
+  const auto diagnostics =
+      lint_source("src/x.cpp", "int a;\nint b = rand();\n");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].file, "src/x.cpp");
+  EXPECT_EQ(diagnostics[0].line, 2u);
+  const std::string text = pmiot::lint::to_string(diagnostics[0]);
+  EXPECT_EQ(text.rfind("src/x.cpp:2: error: [raw-rand]", 0), 0u);
+}
+
+// --- suppression handling (satellite: suppressed passes, unsuppressed
+// fails, stale suppression is itself reported) ---
+
+TEST(Lint, SameLineSuppressionSilencesViolation) {
+  const std::string source =
+      "int x = rand();  // justified: legacy fixture. "
+      "pmiot-lint" ": allow(raw-rand)\n";
+  EXPECT_TRUE(rules_of("src/a.cpp", source).empty());
+}
+
+TEST(Lint, PrecedingCommentLineSuppressionSilencesViolation) {
+  const std::string source =
+      "// seed folded into fixture data. pmiot-lint" ": allow(raw-rand)\n"
+      "int x = rand();\n";
+  EXPECT_TRUE(rules_of("src/a.cpp", source).empty());
+}
+
+TEST(Lint, SuppressionIsRuleSpecific) {
+  // An allow for a different rule does not silence the violation, and the
+  // unused grant is reported as stale: two findings total.
+  const std::string source =
+      "int x = rand();  // pmiot-lint" ": allow(wall-clock)\n";
+  const auto rules = rules_of("src/a.cpp", source);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0], "raw-rand");
+  EXPECT_EQ(rules[1], "stale-suppression");
+}
+
+TEST(Lint, StaleSuppressionIsReported) {
+  const std::string source =
+      "int x = 3;  // pmiot-lint" ": allow(raw-rand)\n";
+  const auto diagnostics = lint_source("src/a.cpp", source);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "stale-suppression");
+  EXPECT_EQ(diagnostics[0].line, 1u);
+}
+
+TEST(Lint, MultiRuleAllowSuppressesBothAndStalenessIsPerRule) {
+  const std::string both =
+      "auto t = time(nullptr) + rand();  "
+      "// pmiot-lint" ": allow(raw-rand, wall-clock)\n";
+  EXPECT_TRUE(rules_of("src/a.cpp", both).empty());
+
+  const std::string half =
+      "int x = rand();  // pmiot-lint" ": allow(raw-rand, wall-clock)\n";
+  EXPECT_EQ(rules_of("src/a.cpp", half),
+            std::vector<std::string>{"stale-suppression"});
+}
+
+TEST(Lint, UnknownRuleInAllowIsReported) {
+  const std::string source =
+      "int x = 3;  // pmiot-lint" ": allow(no-such-rule)\n";
+  const auto diagnostics = lint_source("src/a.cpp", source);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "unknown-rule");
+}
+
+TEST(Lint, EveryRuleHasADescription) {
+  for (const auto& rule : pmiot::lint::rule_names()) {
+    EXPECT_FALSE(pmiot::lint::describe_rule(rule).empty()) << rule;
+  }
+  EXPECT_TRUE(pmiot::lint::describe_rule("no-such-rule").empty());
+}
+
+}  // namespace

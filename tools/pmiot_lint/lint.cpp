@@ -1,0 +1,742 @@
+#include "pmiot_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace pmiot::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool starts_with(const std::string& s, std::size_t pos, const char* prefix) {
+  for (std::size_t i = 0; prefix[i] != '\0'; ++i) {
+    if (pos + i >= s.size() || s[pos + i] != prefix[i]) return false;
+  }
+  return true;
+}
+
+/// Whole-word occurrence of `word` at `pos` in `text`.
+bool word_at(const std::string& text, std::size_t pos,
+             const std::string& word) {
+  if (!starts_with(text, pos, word.c_str())) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !is_ident_char(text[end]);
+}
+
+/// First whole-word occurrence of `word` at or after `from`, or npos.
+std::size_t find_word(const std::string& text, const std::string& word,
+                      std::size_t from = 0) {
+  for (std::size_t pos = text.find(word, from); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    if (word_at(text, pos, word)) return pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n')) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Index of the character after the bracket that closes the one at `open`
+/// (text[open] must be one of ( [ { <). Returns npos when unbalanced.
+/// Brackets inside strings/comments are assumed already blanked.
+std::size_t matching_close(const std::string& text, std::size_t open) {
+  const char open_c = text[open];
+  const char close_c = open_c == '(' ? ')'
+                       : open_c == '[' ? ']'
+                       : open_c == '{' ? '}'
+                                       : '>';
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_c) ++depth;
+    if (text[i] == close_c && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// The source text with comment bodies and string/char-literal contents
+/// blanked to spaces (newlines kept, so offsets and line numbers survive),
+/// plus the comment text per line for directive parsing.
+struct ScannedSource {
+  std::string code;                   // same length as the input
+  std::vector<std::string> comments;  // comment text appearing on each line
+};
+
+ScannedSource scan(const std::string& text) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  ScannedSource out;
+  out.code = text;
+  out.comments.emplace_back();
+  State state = State::kCode;
+  std::string raw_close;  // )delim" that ends the active raw string
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      out.comments.emplace_back();
+      if (state == State::kLine) state = State::kCode;
+      continue;  // keep the newline in `code` whatever the state
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && starts_with(text, i, "//")) {
+          state = State::kLine;
+          out.code[i] = ' ';
+        } else if (c == '/' && starts_with(text, i, "/*")) {
+          state = State::kBlock;
+          out.code[i] = ' ';
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          raw_close = ")";
+          std::size_t j = i + 1;
+          while (j < text.size() && text[j] != '(') raw_close += text[j++];
+          raw_close += '"';
+          state = State::kRaw;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        out.comments.back() += c;
+        out.code[i] = ' ';
+        break;
+      case State::kBlock:
+        out.comments.back() += c;
+        if (c == '/' && i > 0 && text[i - 1] == '*') {
+          out.comments.back().pop_back();  // drop the trailing '/'
+          if (!out.comments.back().empty()) out.comments.back().pop_back();
+          state = State::kCode;
+        }
+        out.code[i] = ' ';
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out.code[i] = ' ';
+          if (i + 1 < text.size() && text[i + 1] != '\n') out.code[++i] = ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+        } else {
+          out.code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out.code[i] = ' ';
+          if (i + 1 < text.size() && text[i + 1] != '\n') out.code[++i] = ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out.code[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (starts_with(text, i, raw_close.c_str())) {
+          for (std::size_t j = 1; j < raw_close.size(); ++j) {
+            out.code[i + j] = ' ';
+          }
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        } else {
+          out.code[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// 1-based line number of offset `pos` in `text`.
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(pos, text.size())),
+                            '\n'));
+}
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"raw-rand",
+     "rand()/srand()/std::random_device: ambient randomness breaks "
+     "reproducibility; use a seeded pmiot::Rng"},
+    {"wall-clock",
+     "system_clock/time(nullptr)/gettimeofday/clock(): results must not "
+     "depend on wall-clock time"},
+    {"src-timing",
+     "steady_clock/high_resolution_clock under src/: timing belongs in "
+     "bench/, library results must not branch on elapsed time"},
+    {"par-rng-seed",
+     "RNG constructed inside a parallel_for lambda must take a per-shard "
+     "seed (shard_seed or a precomputed seed value)"},
+    {"nested-par",
+     "parallel_for inside a parallel_for lambda runs inline; restructure "
+     "so one level owns the parallelism"},
+    {"unordered-iter",
+     "iterating an unordered container yields nondeterministic order; sort "
+     "first or justify with an allow"},
+    {"atomic-float",
+     "std::atomic<float/double> reductions commit to a scheduling-dependent "
+     "addition order; accumulate per shard and combine in index order"},
+    {"include-hygiene",
+     "header uses a std:: symbol without including the standard header that "
+     "provides it"},
+    {"stale-suppression",
+     "an allow(...) directive that matched no violation (meta rule; not "
+     "suppressible)"},
+    {"unknown-rule",
+     "allow(...) names a rule pmiot-lint does not know (meta rule)"},
+};
+
+bool is_known_rule(const std::string& name) {
+  for (const auto& rule : kRules) {
+    if (name == rule.name) return true;
+  }
+  return false;
+}
+
+/// One `allow(...)` grant: a rule name suppressing findings on `target_line`.
+struct Allow {
+  std::size_t directive_line = 0;  // where the comment sits (for staleness)
+  std::size_t target_line = 0;     // line whose findings it suppresses
+  std::string rule;
+  bool used = false;
+};
+
+/// Parses `pmiot-lint: allow(...)` directives out of per-line comment text.
+/// A directive on a line with code targets that line; a directive on a
+/// comment-only line targets the next line that has code on it.
+std::vector<Allow> collect_allows(const ScannedSource& source,
+                                  const std::string& path,
+                                  std::vector<Diagnostic>& meta) {
+  std::vector<Allow> allows;
+  const auto line_has_code = [&](std::size_t line_index) {
+    std::size_t begin = 0;
+    for (std::size_t l = 0; l < line_index; ++l) {
+      begin = source.code.find('\n', begin);
+      if (begin == std::string::npos) return false;
+      ++begin;
+    }
+    std::size_t end = source.code.find('\n', begin);
+    if (end == std::string::npos) end = source.code.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      if (source.code[i] != ' ' && source.code[i] != '\t') return true;
+    }
+    return false;
+  };
+  for (std::size_t li = 0; li < source.comments.size(); ++li) {
+    const std::string& comment = source.comments[li];
+    std::size_t pos = comment.find("pmiot-lint:");
+    if (pos == std::string::npos) continue;
+    pos = comment.find("allow", pos);
+    if (pos == std::string::npos) continue;
+    const std::size_t open = comment.find('(', pos);
+    const std::size_t close = comment.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      meta.push_back({path, li + 1, "unknown-rule",
+                      "malformed pmiot-lint directive; expected "
+                      "`pmiot-lint: allow(rule)`"});
+      continue;
+    }
+    std::size_t target = li;  // 0-based
+    if (!line_has_code(li)) {
+      target = li + 1;
+      while (target < source.comments.size() && !line_has_code(target)) {
+        ++target;
+      }
+    }
+    std::string name;
+    for (std::size_t i = open + 1; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        if (!name.empty()) {
+          if (!is_known_rule(name)) {
+            meta.push_back({path, li + 1, "unknown-rule",
+                            "allow(" + name + ") names no pmiot-lint rule"});
+          } else {
+            allows.push_back({li + 1, target + 1, name, false});
+          }
+          name.clear();
+        }
+      } else if (is_ident_char(c) || c == '-') {
+        name += c;
+      }
+    }
+  }
+  return allows;
+}
+
+/// A half-open [begin, end) offset range of a parallel_for lambda body.
+struct ParRegion {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Bodies of lambdas passed to parallel_for calls (the parallel regions the
+/// par-rng-seed and nested-par rules police).
+std::vector<ParRegion> find_par_regions(const std::string& code) {
+  std::vector<ParRegion> regions;
+  for (std::size_t pos = find_word(code, "parallel_for");
+       pos != std::string::npos;
+       pos = find_word(code, "parallel_for", pos + 1)) {
+    const std::size_t open = skip_spaces(code, pos + 12);
+    if (open >= code.size() || code[open] != '(') continue;  // declaration
+    const std::size_t args_end = matching_close(code, open);
+    if (args_end == std::string::npos) continue;
+    // Find the lambda introducer among the arguments: a '[' directly after
+    // '(' or ',' (a subscript's '[' follows an identifier or ')' instead).
+    std::size_t lambda = std::string::npos;
+    for (std::size_t i = open; i + 1 < args_end; ++i) {
+      if (code[i] != '(' && code[i] != ',') continue;
+      const std::size_t j = skip_spaces(code, i + 1);
+      if (j < args_end && code[j] == '[') {
+        lambda = j;
+        break;
+      }
+    }
+    if (lambda == std::string::npos) continue;  // fn pointer / declaration
+    const std::size_t captures_end = matching_close(code, lambda);
+    if (captures_end == std::string::npos) continue;
+    const std::size_t body = code.find('{', captures_end);
+    if (body == std::string::npos || body >= args_end) continue;
+    const std::size_t body_end = matching_close(code, body);
+    if (body_end == std::string::npos) continue;
+    regions.push_back({body + 1, body_end - 1});
+  }
+  return regions;
+}
+
+bool in_regions(const std::vector<ParRegion>& regions, std::size_t pos) {
+  for (const auto& region : regions) {
+    if (pos >= region.begin && pos < region.end) return true;
+  }
+  return false;
+}
+
+void check_banned_calls(const std::string& path, const std::string& code,
+                        bool in_src, std::vector<Diagnostic>& findings) {
+  const auto flag = [&](std::size_t pos, const char* rule,
+                        const std::string& what) {
+    findings.push_back({path, line_of(code, pos), rule, what});
+  };
+  static const std::pair<const char*, const char*> kRandWords[] = {
+      {"rand", "rand() draws from hidden global state"},
+      {"srand", "srand() seeds hidden global state"},
+      {"random_device", "std::random_device is nondeterministic by design"},
+      {"random_shuffle", "std::random_shuffle uses unspecified randomness"},
+  };
+  for (const auto& [word, why] : kRandWords) {
+    for (std::size_t pos = find_word(code, word); pos != std::string::npos;
+         pos = find_word(code, word, pos + 1)) {
+      // `rand`/`srand` only count as calls; the other names are banned
+      // outright (even constructing std::random_device is a violation).
+      if ((std::string(word) == "rand" || std::string(word) == "srand")) {
+        const std::size_t next = skip_spaces(code, pos + std::string(word).size());
+        if (next >= code.size() || code[next] != '(') continue;
+      }
+      flag(pos, "raw-rand",
+           std::string(why) + "; use a seeded pmiot::Rng instead");
+    }
+  }
+  static const char* kWallClockWords[] = {"system_clock", "gettimeofday",
+                                          "clock_gettime"};
+  for (const char* word : kWallClockWords) {
+    for (std::size_t pos = find_word(code, word); pos != std::string::npos;
+         pos = find_word(code, word, pos + 1)) {
+      flag(pos, "wall-clock",
+           std::string(word) + " reads the wall clock; results must be "
+                               "reproducible across runs");
+    }
+  }
+  // `time(...)` with no argument or a null-ish argument, and argless
+  // `clock()`. `timestamp()`-style identifiers don't match (whole word).
+  for (const char* word : {"time", "clock"}) {
+    for (std::size_t pos = find_word(code, word); pos != std::string::npos;
+         pos = find_word(code, word, pos + 1)) {
+      const std::size_t open = pos + (word[0] == 't' ? 4 : 5);
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = matching_close(code, open);
+      if (close == std::string::npos) continue;
+      std::string args = code.substr(open + 1, close - open - 2);
+      args.erase(std::remove_if(args.begin(), args.end(),
+                                [](char c) { return c == ' ' || c == '\t'; }),
+                 args.end());
+      if (args.empty() || args == "nullptr" || args == "NULL" || args == "0") {
+        flag(pos, "wall-clock",
+             std::string(word) + "(" + args + ") reads the wall clock");
+      }
+    }
+  }
+  if (in_src) {
+    for (const char* word : {"steady_clock", "high_resolution_clock"}) {
+      for (std::size_t pos = find_word(code, word); pos != std::string::npos;
+           pos = find_word(code, word, pos + 1)) {
+        flag(pos, "src-timing",
+             std::string(word) + " in library code: move timing to bench/; "
+                                 "results must not depend on elapsed time");
+      }
+    }
+  }
+}
+
+void check_par_regions(const std::string& path, const std::string& code,
+                       std::vector<Diagnostic>& findings) {
+  const std::vector<ParRegion> regions = find_par_regions(code);
+  if (regions.empty()) return;
+  // Nested parallel_for: any parallel_for token inside a region.
+  for (std::size_t pos = find_word(code, "parallel_for");
+       pos != std::string::npos;
+       pos = find_word(code, "parallel_for", pos + 1)) {
+    if (in_regions(regions, pos)) {
+      findings.push_back(
+          {path, line_of(code, pos), "nested-par",
+           "parallel_for inside a parallel_for lambda runs inline on the "
+           "calling thread; hoist the parallelism to one level"});
+    }
+  }
+  // RNG construction inside a region must mention a seed.
+  static const char* kEngines[] = {"Rng", "mt19937", "mt19937_64",
+                                   "minstd_rand", "minstd_rand0",
+                                   "default_random_engine"};
+  for (const char* engine : kEngines) {
+    for (std::size_t pos = find_word(code, engine); pos != std::string::npos;
+         pos = find_word(code, engine, pos + 1)) {
+      if (!in_regions(regions, pos)) continue;
+      // Construction shapes: `Rng(args)`, `Rng{args}`, `Rng name(args)`,
+      // `Rng name{args}`. A reference/pointer parameter or member access
+      // is not a construction.
+      std::size_t cursor = skip_spaces(code, pos + std::string(engine).size());
+      if (cursor < code.size() && is_ident_char(code[cursor])) {
+        while (cursor < code.size() && is_ident_char(code[cursor])) ++cursor;
+        cursor = skip_spaces(code, cursor);
+      }
+      if (cursor >= code.size() || (code[cursor] != '(' && code[cursor] != '{')) {
+        continue;
+      }
+      const std::size_t close = matching_close(code, cursor);
+      if (close == std::string::npos) continue;
+      const std::string args = code.substr(cursor + 1, close - cursor - 2);
+      // Accept any seed-bearing argument: shard_seed(...), seeds[i],
+      // base_seed + ... — an identifier whose name mentions "seed".
+      bool seeded = false;
+      for (std::size_t i = 0; i + 4 <= args.size(); ++i) {
+        const bool word_start = i == 0 || !is_ident_char(args[i - 1]);
+        if (word_start && is_ident_char(args[i])) {
+          std::size_t j = i;
+          std::string ident;
+          while (j < args.size() && is_ident_char(args[j])) ident += args[j++];
+          std::string lower = ident;
+          std::transform(lower.begin(), lower.end(), lower.begin(),
+                         [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                         });
+          if (lower.find("seed") != std::string::npos) {
+            seeded = true;
+            break;
+          }
+        }
+      }
+      if (!seeded) {
+        findings.push_back(
+            {path, line_of(code, pos), "par-rng-seed",
+             std::string(engine) +
+                 " constructed inside a parallel_for lambda without a "
+                 "per-shard seed; derive it from shard_seed(base, i) or a "
+                 "precomputed seeds[i]"});
+      }
+    }
+  }
+}
+
+void check_unordered_iteration(const std::string& path,
+                               const std::string& code,
+                               std::vector<Diagnostic>& findings) {
+  // Collect names declared with an unordered container type in this file.
+  std::set<std::string> names;
+  for (const char* container : {"unordered_map", "unordered_set",
+                                "unordered_multimap", "unordered_multiset"}) {
+    for (std::size_t pos = find_word(code, container);
+         pos != std::string::npos;
+         pos = find_word(code, container, pos + 1)) {
+      const std::size_t open = pos + std::string(container).size();
+      if (open >= code.size() || code[open] != '<') continue;
+      std::size_t after = matching_close(code, open);
+      if (after == std::string::npos) continue;
+      after = skip_spaces(code, after);
+      // `&`/`*` still declare a name whose iteration is unordered.
+      while (after < code.size() && (code[after] == '&' || code[after] == '*')) {
+        after = skip_spaces(code, after + 1);
+      }
+      std::string name;
+      while (after < code.size() && is_ident_char(code[after])) {
+        name += code[after++];
+      }
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  if (names.empty()) return;
+  // Range-for over a declared name (possibly member-qualified), or explicit
+  // begin() iteration on one.
+  for (std::size_t pos = find_word(code, "for"); pos != std::string::npos;
+       pos = find_word(code, "for", pos + 1)) {
+    const std::size_t open = skip_spaces(code, pos + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = matching_close(code, open);
+    if (close == std::string::npos) continue;
+    const std::string head = code.substr(open + 1, close - open - 2);
+    const std::size_t colon = head.find(':');
+    if (colon == std::string::npos || (colon + 1 < head.size() && head[colon + 1] == ':')) {
+      continue;  // not a range-for (plain for, or :: qualifier first)
+    }
+    std::string range = head.substr(colon + 1);
+    // Last identifier component of the range expression.
+    std::string ident;
+    for (char c : range) {
+      if (is_ident_char(c)) {
+        ident += c;
+      } else if (c != ' ' && c != '\t' && c != '\n') {
+        if (c == '.' || (c == '>' && !ident.empty())) ident.clear();
+      }
+    }
+    if (names.count(ident) != 0) {
+      findings.push_back(
+          {path, line_of(code, pos), "unordered-iter",
+           "range-for over unordered container `" + ident +
+               "`: traversal order is nondeterministic; iterate a sorted "
+               "copy of the keys (or justify with an allow)"});
+    }
+  }
+  for (const std::string& name : names) {
+    for (const char* method : {".begin", ".cbegin"}) {
+      const std::string pattern = name + method;
+      for (std::size_t pos = code.find(pattern); pos != std::string::npos;
+           pos = code.find(pattern, pos + 1)) {
+        if (pos > 0 && is_ident_char(code[pos - 1])) continue;
+        findings.push_back(
+            {path, line_of(code, pos), "unordered-iter",
+             "iterator walk over unordered container `" + name +
+                 "`: traversal order is nondeterministic; sort keys first "
+                 "(or justify with an allow)"});
+      }
+    }
+  }
+}
+
+void check_atomic_float(const std::string& path, const std::string& code,
+                        std::vector<Diagnostic>& findings) {
+  for (std::size_t pos = find_word(code, "atomic"); pos != std::string::npos;
+       pos = find_word(code, "atomic", pos + 1)) {
+    const std::size_t open = pos + 6;
+    if (open >= code.size() || code[open] != '<') continue;
+    const std::size_t close = matching_close(code, open);
+    if (close == std::string::npos) continue;
+    const std::string type = code.substr(open + 1, close - open - 2);
+    if (find_word(type, "float") != std::string::npos ||
+        find_word(type, "double") != std::string::npos) {
+      findings.push_back(
+          {path, line_of(code, pos), "atomic-float",
+           "std::atomic<" + std::string(type) +
+               "> reduction order depends on thread scheduling; accumulate "
+               "into per-shard slots and combine in index order"});
+    }
+  }
+}
+
+/// std:: symbol -> standard headers that satisfy it. A header may use the
+/// symbol only if it directly includes one of them.
+struct SymbolRequirement {
+  const char* symbol;
+  std::vector<const char*> headers;
+};
+
+const std::vector<SymbolRequirement>& symbol_requirements() {
+  // Note: std::size_t is formally from <cstddef> and friends, but both
+  // mainstream standard libraries also define it in <cstdint>; the repo
+  // leans on that, so <cstdint> is accepted.
+  static const std::vector<SymbolRequirement> kTable = {
+      {"vector", {"vector"}},
+      {"string", {"string"}},
+      {"string_view", {"string_view"}},
+      {"unordered_map", {"unordered_map"}},
+      {"unordered_set", {"unordered_set"}},
+      {"optional", {"optional"}},
+      {"function", {"functional"}},
+      {"array", {"array"}},
+      {"pair", {"utility"}},
+      {"tuple", {"tuple"}},
+      {"unique_ptr", {"memory"}},
+      {"shared_ptr", {"memory"}},
+      {"make_unique", {"memory"}},
+      {"make_shared", {"memory"}},
+      {"span", {"span"}},
+      {"size_t", {"cstddef", "cstdint", "cstdio", "cstring", "cstdlib"}},
+      {"ptrdiff_t", {"cstddef", "cstdint"}},
+      {"uint8_t", {"cstdint"}},
+      {"uint16_t", {"cstdint"}},
+      {"uint32_t", {"cstdint"}},
+      {"uint64_t", {"cstdint"}},
+      {"int8_t", {"cstdint"}},
+      {"int16_t", {"cstdint"}},
+      {"int32_t", {"cstdint"}},
+      {"int64_t", {"cstdint"}},
+      {"atomic", {"atomic"}},
+      {"mutex", {"mutex"}},
+      {"lock_guard", {"mutex"}},
+      {"unique_lock", {"mutex"}},
+      {"condition_variable", {"condition_variable"}},
+      {"thread", {"thread"}},
+      {"ostream", {"ostream", "iostream", "iosfwd", "sstream", "fstream"}},
+      {"istream", {"istream", "iostream", "iosfwd", "sstream", "fstream"}},
+      {"ofstream", {"fstream"}},
+      {"ifstream", {"fstream"}},
+      {"ostringstream", {"sstream"}},
+      {"istringstream", {"sstream"}},
+      {"runtime_error", {"stdexcept"}},
+      {"logic_error", {"stdexcept"}},
+      {"invalid_argument", {"stdexcept"}},
+      {"out_of_range", {"stdexcept"}},
+      {"exception", {"exception", "stdexcept"}},
+      {"move", {"utility"}},
+      {"forward", {"utility"}},
+      {"swap", {"utility", "algorithm"}},
+      {"min", {"algorithm"}},
+      {"max", {"algorithm"}},
+      {"sort", {"algorithm"}},
+      {"stable_sort", {"algorithm"}},
+  };
+  return kTable;
+}
+
+void check_include_hygiene(const std::string& path, const std::string& code,
+                           std::vector<Diagnostic>& findings) {
+  // Direct includes of this header (angle or quoted; quoted project headers
+  // don't satisfy std symbols, so only the <...> set matters here).
+  std::set<std::string> includes;
+  std::size_t pos = 0;
+  while ((pos = code.find("#include", pos)) != std::string::npos) {
+    std::size_t i = skip_spaces(code, pos + 8);
+    if (i < code.size() && code[i] == '<') {
+      const std::size_t end = code.find('>', i);
+      if (end != std::string::npos) {
+        includes.insert(code.substr(i + 1, end - i - 1));
+      }
+    }
+    ++pos;
+  }
+  // First use of each symbol spelled `std::symbol`.
+  std::set<std::string> reported;
+  for (const auto& requirement : symbol_requirements()) {
+    if (reported.count(requirement.symbol) != 0) continue;
+    bool satisfied = false;
+    for (const char* header : requirement.headers) {
+      if (includes.count(header) != 0) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    const std::string qualified = std::string("std::") + requirement.symbol;
+    for (std::size_t at = code.find(qualified); at != std::string::npos;
+         at = code.find(qualified, at + 1)) {
+      const std::size_t sym = at + 5;
+      if (!word_at(code, sym, requirement.symbol)) continue;
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      std::string suggestion = requirement.headers.front();
+      findings.push_back(
+          {path, line_of(code, at), "include-hygiene",
+           "header uses std::" + std::string(requirement.symbol) +
+               " but does not include <" + suggestion +
+               "> (self-sufficiency: no leaning on transitive includes)"});
+      reported.insert(requirement.symbol);
+      break;  // one finding per symbol per header
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Diagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) +
+         ": error: [" + diagnostic.rule + "] " + diagnostic.message;
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& rule : kRules) names.emplace_back(rule.name);
+    return names;
+  }();
+  return kNames;
+}
+
+std::string describe_rule(const std::string& rule) {
+  for (const auto& info : kRules) {
+    if (rule == info.name) return std::string(info.description);
+  }
+  return "";
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content) {
+  const ScannedSource source = scan(content);
+  const bool in_src = path.rfind("src/", 0) == 0;
+  const bool is_header = path.size() > 2 &&
+                         path.compare(path.size() - 2, 2, ".h") == 0;
+
+  std::vector<Diagnostic> meta;
+  std::vector<Allow> allows = collect_allows(source, path, meta);
+
+  std::vector<Diagnostic> findings;
+  check_banned_calls(path, source.code, in_src, findings);
+  check_par_regions(path, source.code, findings);
+  check_unordered_iteration(path, source.code, findings);
+  check_atomic_float(path, source.code, findings);
+  if (is_header) check_include_hygiene(path, source.code, findings);
+
+  // Apply suppressions; every grant must earn its keep.
+  std::vector<Diagnostic> kept;
+  for (const auto& finding : findings) {
+    bool suppressed = false;
+    for (auto& allow : allows) {
+      if (allow.target_line == finding.line && allow.rule == finding.rule) {
+        allow.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(finding);
+  }
+  for (const auto& allow : allows) {
+    if (!allow.used) {
+      kept.push_back({path, allow.directive_line, "stale-suppression",
+                      "allow(" + allow.rule + ") matched no " + allow.rule +
+                          " violation on line " +
+                          std::to_string(allow.target_line) +
+                          "; remove the suppression"});
+    }
+  }
+  for (auto& diagnostic : meta) kept.push_back(std::move(diagnostic));
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  return kept;
+}
+
+}  // namespace pmiot::lint

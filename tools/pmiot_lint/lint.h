@@ -1,0 +1,77 @@
+// pmiot-lint: a determinism & concurrency linter for the pmiot tree.
+//
+// The repo's bit-reproducibility contract (results identical at any
+// PMIOT_THREADS, across runs, across machines) rests on a handful of coding
+// invariants that no compiler flag enforces: no ambient randomness, no wall
+// clocks in library code, shard-derived RNG seeds inside parallel regions,
+// no iteration over hash containers into ordered output. This linter checks
+// them mechanically over `src/ bench/ tests/ tools/` and runs as a ctest, so
+// a violation fails the build instead of silently de-reproducing a paper
+// figure.
+//
+// Rules (scope in parentheses; `--list-rules` prints the same table):
+//   raw-rand        (all)   rand()/srand()/std::random_device — use a
+//                           seeded pmiot::Rng.
+//   wall-clock      (all)   system_clock / time(nullptr) / gettimeofday /
+//                           clock(): results must not depend on wall time.
+//   src-timing      (src)   steady_clock & friends in library code — timing
+//                           belongs in bench/, not in results.
+//   par-rng-seed    (all)   RNG constructed inside a parallel_for lambda
+//                           must be seeded from shard_seed (or an explicit
+//                           per-shard seed value mentioning "seed").
+//   nested-par      (all)   parallel_for inside a parallel_for lambda: the
+//                           inner call runs inline, which is almost never
+//                           what the author intended for throughput.
+//   unordered-iter  (all)   iteration over an unordered_map/unordered_set:
+//                           the traversal order is nondeterministic, so any
+//                           output or accumulation it feeds must be ordered
+//                           first (or the site justified with an allow).
+//   atomic-float    (all)   std::atomic<float/double>: atomic FP reduction
+//                           commits to an addition order that depends on
+//                           thread scheduling.
+//   include-hygiene (headers) a header naming a std:: symbol must include
+//                           the standard header that provides it, not lean
+//                           on a transitive include.
+//
+// Suppressions: a `pmiot-lint: allow(...)` comment naming one or more rules
+// on the offending line, or alone on the line above it. Every grant must
+// match a violation — a stale suppression is itself reported
+// (`stale-suppression`), so suppressions cannot outlive the code they
+// excused.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pmiot::lint {
+
+/// One finding, anchored to a 1-based line of `file`.
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// Formats as `file:line: error: [rule] message` (the common compiler
+/// diagnostic shape, so editors and CI annotations pick it up).
+std::string to_string(const Diagnostic& diagnostic);
+
+/// Rule names `allow(...)` accepts, in documentation order.
+const std::vector<std::string>& rule_names();
+
+/// One line of the `--list-rules` table: "name  description".
+std::string describe_rule(const std::string& rule);
+
+/// Lints one translation unit. `path` is the repo-relative path ("src/..."),
+/// used both for diagnostics and for scoping rules (src-timing only fires
+/// under src/; include-hygiene only on *.h). Diagnostics come back in line
+/// order. Never touches the filesystem — callers feed `content` — so tests
+/// lint embedded fixture strings directly.
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content);
+
+}  // namespace pmiot::lint

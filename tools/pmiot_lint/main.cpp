@@ -1,0 +1,95 @@
+// pmiot_lint CLI: lints files or directory trees and exits nonzero on any
+// finding. Registered as the `pmiot_lint.tree` ctest over src/ bench/
+// tests/ tools/, so determinism violations fail the build.
+//
+//   pmiot_lint [--root DIR] [--list-rules] [paths...]
+//
+// Paths are files or directories, relative to --root (default: the current
+// directory). With no paths, lints src bench tests tools.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pmiot_lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : pmiot::lint::rule_names()) {
+        std::cout << rule << "\n    " << pmiot::lint::describe_rule(rule)
+                  << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pmiot_lint [--root DIR] [--list-rules] "
+                   "[paths...]\n";
+      return 0;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) targets = {"src", "bench", "tests", "tools"};
+
+  // Expand directories; sort for output (and exit code) determinism.
+  std::vector<fs::path> files;
+  for (const auto& target : targets) {
+    const fs::path full = root / target;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(full, ec) && lintable(full)) {
+      files.push_back(full);
+    } else {
+      std::cerr << "pmiot_lint: cannot read " << full << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const auto& file : files) {
+    const std::string label =
+        fs::relative(file, root).generic_string();
+    const auto diagnostics =
+        pmiot::lint::lint_source(label, read_file(file));
+    for (const auto& diagnostic : diagnostics) {
+      std::cout << pmiot::lint::to_string(diagnostic) << "\n";
+    }
+    total += diagnostics.size();
+  }
+  std::cout << "pmiot_lint: " << files.size() << " files, " << total
+            << (total == 1 ? " finding\n" : " findings\n");
+  return total == 0 ? 0 : 1;
+}
