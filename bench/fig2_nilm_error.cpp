@@ -20,6 +20,7 @@
 #include "nilm/error.h"
 #include "nilm/fhmm_nilm.h"
 #include "nilm/powerplay.h"
+#include "obs/metrics.h"
 #include "synth/home.h"
 
 using namespace pmiot;
@@ -139,5 +140,6 @@ int main() {
               "households/s");
   json.metric("small_load_wins", small_load_wins);
   if (json.write()) std::cout << "\nwrote " << json.path() << '\n';
+  pmiot::obs::emit_if_enabled("fig2_nilm_error");
   return 0;
 }

@@ -37,6 +37,7 @@
 #include "ml/decision_tree.h"
 #include "ml/knn.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
 
 using namespace pmiot;
 
@@ -285,6 +286,7 @@ int main(int argc, char** argv) {
 
   if (self_check_only) {
     std::cout << "--self-check: validation passed, timing bars skipped\n";
+    pmiot::obs::emit_if_enabled("ml_train");
     return EXIT_SUCCESS;
   }
 
@@ -346,5 +348,6 @@ int main(int argc, char** argv) {
       .metric("self_check_passed", 1.0);
   if (json.write()) std::cout << "wrote " << json.path() << '\n';
 
+  pmiot::obs::emit_if_enabled("ml_train");
   return forest_speedup >= 5.0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -17,6 +17,7 @@
 #include "ml/random_forest.h"
 #include "net/fingerprint.h"
 #include "net/gateway.h"
+#include "obs/metrics.h"
 
 using namespace pmiot;
 
@@ -145,5 +146,9 @@ int main() {
             << " lateral LAN packets blocked by least privilege; "
             << report.quarantine_packets_dropped
             << " packets dropped after quarantine.\n";
+
+  // Snapshot goes to stderr + METRICS_*.json only, so stdout (this bench's
+  // primary output) is bitwise identical with metrics on and off.
+  pmiot::obs::emit_if_enabled("sec4_traffic_fingerprint");
   return 0;
 }

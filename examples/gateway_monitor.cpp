@@ -11,6 +11,7 @@
 #include "ml/random_forest.h"
 #include "net/fingerprint.h"
 #include "net/gateway.h"
+#include "obs/metrics.h"
 
 using namespace pmiot;
 
@@ -85,5 +86,10 @@ int main() {
             << " lateral LAN packets blocked; "
             << report.quarantine_packets_dropped
             << " packets from quarantined devices dropped.\n";
+
+  // PMIOT_METRICS=1 surfaces the gateway's own load counters (packets
+  // policed, windows scored, flow churn) on stderr without touching the
+  // report above.
+  pmiot::obs::emit_if_enabled("gateway_monitor");
   return 0;
 }

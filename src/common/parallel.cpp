@@ -9,11 +9,18 @@
 #include <vector>
 
 namespace pmiot::par {
+
+BatchObserver::~BatchObserver() = default;
+
 namespace {
 
 // Set while a thread (worker or the batch's caller) is executing batch
 // iterations; nested parallel_for calls detect it and run inline.
 thread_local bool tls_in_batch = false;
+
+// Process-wide observer; acquire/release so a freshly installed observer's
+// construction happens-before its first hook call on any thread.
+std::atomic<BatchObserver*> g_batch_observer{nullptr};
 
 std::size_t read_thread_count() {
   if (const char* env = std::getenv("PMIOT_THREADS")) {
@@ -28,6 +35,10 @@ std::size_t read_thread_count() {
 }
 
 }  // namespace
+
+void set_batch_observer(BatchObserver* observer) {
+  g_batch_observer.store(observer, std::memory_order_release);
+}
 
 std::size_t thread_count() {
   static const std::size_t n = read_thread_count();
@@ -63,23 +74,29 @@ struct ThreadPool::Impl {
   std::atomic<std::size_t> next{0};
   std::size_t pending = 0;  // workers that have not finished this batch
   std::exception_ptr error;
+  BatchObserver* obs = nullptr;  // observer for this batch, if any
+  void* obs_token = nullptr;
 
   std::vector<std::thread> workers;
 
-  void drain() {
+  void drain(std::size_t worker) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) return;
+      if (obs_token != nullptr) obs->on_shard_begin(obs_token, i, worker);
       try {
         (*body)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!error) error = std::current_exception();
       }
+      // Runs even when body(i) threw, so the observer can clear any
+      // per-shard thread-local state on this worker.
+      if (obs_token != nullptr) obs->on_shard_end(obs_token, i);
     }
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t worker) {
     tls_in_batch = true;  // workers never fan out further
     std::uint64_t seen = 0;
     for (;;) {
@@ -89,7 +106,7 @@ struct ThreadPool::Impl {
         if (stop) return;
         seen = generation;
       }
-      drain();
+      drain(worker);
       {
         std::lock_guard<std::mutex> lock(mu);
         if (--pending == 0) done_cv.notify_all();
@@ -100,9 +117,10 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
   if (threads == 0) threads = thread_count();
-  // The caller participates in every batch, so spawn one fewer worker.
+  // The caller participates in every batch (as worker 0), so spawn one
+  // fewer worker; pool workers take indices 1..threads-1.
   for (std::size_t i = 1; i < threads; ++i) {
-    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
   }
 }
 
@@ -123,8 +141,30 @@ std::size_t ThreadPool::size() const noexcept {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
+
+  BatchObserver* const obs = g_batch_observer.load(std::memory_order_acquire);
+  void* const token = obs != nullptr ? obs->on_batch_begin(begin, end)
+                                     : nullptr;
+
   if (tls_in_batch || impl_->workers.empty() || end - begin == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    // Inline path. Unlike the pool path, an exception here stops the
+    // remaining iterations immediately; the observer is told the batch
+    // failed either way, before the exception propagates.
+    if (token == nullptr) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    try {
+      for (std::size_t i = begin; i < end; ++i) {
+        obs->on_shard_begin(token, i, /*worker=*/0);
+        body(i);
+        obs->on_shard_end(token, i);
+      }
+    } catch (...) {
+      obs->on_batch_end(token, /*failed=*/true);
+      throw;
+    }
+    obs->on_batch_end(token, /*failed=*/false);
     return;
   }
 
@@ -136,12 +176,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     impl_->next.store(begin, std::memory_order_relaxed);
     impl_->pending = impl_->workers.size();
     impl_->error = nullptr;
+    impl_->obs = obs;
+    impl_->obs_token = token;
     ++impl_->generation;
   }
   impl_->wake_cv.notify_all();
 
   tls_in_batch = true;
-  impl_->drain();
+  impl_->drain(/*worker=*/0);
   tls_in_batch = false;
 
   std::exception_ptr error;
@@ -149,9 +191,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::unique_lock<std::mutex> lock(impl_->mu);
     impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
     impl_->body = nullptr;
+    impl_->obs = nullptr;
+    impl_->obs_token = nullptr;
     error = impl_->error;
     impl_->error = nullptr;
   }
+  if (token != nullptr) obs->on_batch_end(token, /*failed=*/error != nullptr);
   if (error) std::rethrow_exception(error);
 }
 

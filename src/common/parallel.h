@@ -64,6 +64,39 @@ class ThreadPool {
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
+/// Hook interface for instrumenting `parallel_for` batches without making
+/// pmiot_common depend on the observability layer (pmiot_obs installs an
+/// implementation; see src/obs/metrics.h).
+///
+/// Call sequence for one batch, regardless of pool width:
+///   token = on_batch_begin(begin, end)      // caller thread, before any shard
+///   on_shard_begin(token, i, worker)        // executing thread, before body(i)
+///   on_shard_end(token, i)                  // same thread, after body(i)
+///   on_batch_end(token, failed)             // caller thread, before rethrow
+///
+/// Returning nullptr from `on_batch_begin` skips the per-shard hooks for that
+/// batch (the observer uses this to ignore nested batches). `worker` is 0 for
+/// the calling thread and 1..N-1 for pool workers. On the pool path
+/// `on_shard_end` runs even when body(i) throws; on the inline path (width 1,
+/// single iteration, or nested) a throw propagates immediately, so only
+/// `on_batch_end(token, /*failed=*/true)` is guaranteed — implementations
+/// must clean up any per-shard thread-local state there.
+class BatchObserver {
+ public:
+  virtual ~BatchObserver();
+
+  virtual void* on_batch_begin(std::size_t begin, std::size_t end) = 0;
+  virtual void on_shard_begin(void* token, std::size_t shard,
+                              std::size_t worker) = 0;
+  virtual void on_shard_end(void* token, std::size_t shard) = 0;
+  virtual void on_batch_end(void* token, bool failed) = 0;
+};
+
+/// Installs the process-wide batch observer (nullptr uninstalls). The
+/// observer must outlive every subsequent `parallel_for` call. Not
+/// synchronized against in-flight batches: install before forking work.
+void set_batch_observer(BatchObserver* observer);
+
 /// Routes the free `parallel_for` through `pool` on the current thread for
 /// the lifetime of the override. `thread_count()` is evaluated once per
 /// process, so tests use this to exercise a code path at several pool widths

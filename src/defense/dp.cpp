@@ -8,8 +8,13 @@
 namespace pmiot::defense {
 
 double laplace_scale(double sensitivity, double epsilon) {
-  PMIOT_CHECK(sensitivity > 0.0, "sensitivity must be positive");
-  PMIOT_CHECK(epsilon > 0.0, "epsilon must be positive");
+  // `> 0.0` also rejects NaN; the finiteness checks close the remaining
+  // hole (an infinite sensitivity or epsilon would silently yield an
+  // infinite or zero scale instead of a checked error).
+  PMIOT_CHECK(std::isfinite(sensitivity) && sensitivity > 0.0,
+              "sensitivity must be positive and finite");
+  PMIOT_CHECK(std::isfinite(epsilon) && epsilon > 0.0,
+              "epsilon must be positive and finite");
   return sensitivity / epsilon;
 }
 

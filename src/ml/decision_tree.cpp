@@ -6,9 +6,22 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace pmiot::ml {
 namespace {
+
+obs::Counter& nodes_split_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("ml.tree.nodes_split");
+  return c;
+}
+
+obs::Counter& boundary_scans_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("ml.tree.boundary_scans");
+  return c;
+}
 
 /// Gini impurity of the label counts in `counts` over `total` samples.
 /// Classes with count 0 contribute exactly 0.0 (g -= 0.0 leaves g unchanged
@@ -308,7 +321,13 @@ class PresortedBuilder {
       }
     }
 
+    // One add per node (not per boundary) keeps the scan loop untouched;
+    // every feature walks exactly m-1 boundaries.
+    boundary_scans_counter().add(
+        static_cast<std::uint64_t>(s_.features.size()) * (m - 1));
+
     if (best_feature < 0) return node_id;  // no impurity-reducing split found
+    nodes_split_counter().add();
 
     // Mark each sample position's side once; the same pass collects the
     // split's left label counts (integers, so identical to what the left

@@ -8,9 +8,23 @@
 
 #include "common/error.h"
 #include "ml/kmeans.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace pmiot::ml {
 namespace {
+
+obs::Counter& joint_states_pruned_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "ml.fhmm.joint_states_pruned");
+  return c;
+}
+
+obs::Counter& chain_eliminations_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "ml.fhmm.chain_eliminations");
+  return c;
+}
 
 constexpr double kMinProb = 1e-9;
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
@@ -35,6 +49,7 @@ void prune_to_beam(std::vector<double>& delta, std::size_t beam,
   std::size_t above = 0;
   for (double v : delta) above += v > cutoff ? 1 : 0;
   std::size_t keep_at_cutoff = beam - above;
+  std::uint64_t pruned = 0;
   for (auto& v : delta) {
     if (v > cutoff) continue;
     if (v == cutoff && keep_at_cutoff > 0) {
@@ -42,7 +57,9 @@ void prune_to_beam(std::vector<double>& delta, std::size_t beam,
       continue;
     }
     v = kNegInf;
+    ++pruned;
   }
+  joint_states_pruned_counter().add(pruned);
 }
 
 }  // namespace
@@ -330,6 +347,9 @@ FhmmDecoding FactorialHmm::decode_naive(std::span<const double> aggregate,
 // reference's first-index-wins scan.
 FhmmDecoding FactorialHmm::decode_factored(
     std::span<const double> aggregate, const FhmmDecodeOptions& options) const {
+  static obs::Timer& decode_timer =
+      obs::MetricsRegistry::instance().timer("ml.fhmm.decode_factored");
+  obs::ScopedTimer span(decode_timer);
   const std::size_t k = joint_count_;
   const std::size_t t_max = aggregate.size();
   const std::size_t num_chains = chains_.size();
@@ -403,6 +423,7 @@ FhmmDecoding FactorialHmm::decode_factored(
       }
       cur.swap(nxt);
       cur_origin.swap(nxt_origin);
+      chain_eliminations_counter().add();
     }
     for (std::size_t b = 0; b < k; ++b) {
       next_delta[b] = cur[b] + emission_log(b, aggregate[t]);

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace pmiot::ml {
 namespace {
@@ -15,6 +16,12 @@ namespace {
 // cache-resident while a block of queries streams over it.
 constexpr std::size_t kTrainTile = 128;
 constexpr std::size_t kQueryTile = 16;
+
+obs::Counter& tile_kernels_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("ml.knn.tile_kernels");
+  return c;
+}
 
 }  // namespace
 
@@ -102,6 +109,7 @@ int KnnClassifier::predict(std::span<const double> row) const {
     fold_tile(row.data(), q2, begin, std::min(begin + kTrainTile, n_), cap,
               heap);
   }
+  tile_kernels_counter().add((n_ + kTrainTile - 1) / kTrainTile);
   return vote(heap);
 }
 
@@ -135,6 +143,8 @@ std::vector<int> KnnClassifier::predict_all(const Dataset& data) const {
                   heaps[qi]);
       }
     }
+    // One add per shard (not per kernel call) keeps the tile loop tight.
+    tile_kernels_counter().add(((n_ + kTrainTile - 1) / kTrainTile) * q_count);
     for (std::size_t qi = 0; qi < q_count; ++qi) {
       out[q_begin + qi] = vote(heaps[qi]);
     }

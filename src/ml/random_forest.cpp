@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace pmiot::ml {
 
@@ -14,6 +16,9 @@ RandomForest::RandomForest(ForestOptions options, std::uint64_t seed)
 }
 
 void RandomForest::fit(const Dataset& data) {
+  static obs::Timer& fit_timer =
+      obs::MetricsRegistry::instance().timer("ml.forest.fit");
+  obs::ScopedTimer span(fit_timer);
   data.validate();
   PMIOT_CHECK(!data.rows.empty(), "cannot fit on empty dataset");
   num_classes_ = data.num_classes();

@@ -6,8 +6,31 @@
 #include "common/error.h"
 #include "common/table.h"
 #include "net/features.h"
+#include "obs/metrics.h"
 
 namespace pmiot::net {
+
+namespace {
+
+obs::Counter& windows_scored_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("net.gateway.windows_scored");
+  return c;
+}
+
+obs::Counter& packets_policed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("net.gateway.packets_policed");
+  return c;
+}
+
+obs::Counter& quarantines_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("net.gateway.quarantines");
+  return c;
+}
+
+}  // namespace
 
 const char* to_string(Zone zone) {
   switch (zone) {
@@ -81,6 +104,7 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
       const double window_packets = (features[0] + features[1]) * options_.window_s;
       if (window_packets < options_.min_packets_to_score) continue;
       const double score = detector_.score(features, predicted);
+      windows_scored_counter().add();
       st.max_score = std::max(st.max_score, score);
 
       if (st.zone == Zone::kQuarantined) continue;
@@ -95,6 +119,7 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
         if (st.consecutive_anomalous >= options_.windows_to_quarantine) {
           st.zone = Zone::kQuarantined;
           st.quarantined_at = t1;
+          quarantines_counter().add();
           report.events.push_back(
               GatewayEvent{t1, name, "QUARANTINED: repeated anomalies"});
         }
@@ -110,6 +135,7 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
   for (const auto& p : packets) {
     auto it = state.find(p.src_ip);
     if (it == state.end()) continue;
+    packets_policed_counter().add();
     const auto& st = it->second;
     if (is_lan(p.dst_ip) && (p.dst_ip & 0xff) != 1 &&
         devices_.count(p.dst_ip) == 0) {

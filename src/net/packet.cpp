@@ -4,8 +4,25 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace pmiot::net {
+
+namespace {
+
+obs::Counter& flow_inserts_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("net.flow_table.flow_inserts");
+  return c;
+}
+
+obs::Counter& flow_evictions_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "net.flow_table.flow_evictions");
+  return c;
+}
+
+}  // namespace
 
 std::uint32_t make_ip(int a, int b, int c, int d) {
   PMIOT_CHECK(a >= 0 && a <= 255 && b >= 0 && b <= 255 && c >= 0 && c <= 255 &&
@@ -66,6 +83,7 @@ void FlowTable::add(const Packet& packet) {
     if (packet.timestamp_s - flow.last_ts > idle_timeout_s_) {
       // Timed out: retire it and start a new flow below.
       active_.erase(it);
+      flow_evictions_counter().add();
     } else {
       flow.last_ts = std::max(flow.last_ts, packet.timestamp_s);
       if (forward) {
@@ -91,6 +109,7 @@ void FlowTable::add(const Packet& packet) {
   }
   flows_.push_back(flow);
   active_[key] = flows_.size() - 1;
+  flow_inserts_counter().add();
 }
 
 void sort_by_time(std::vector<Packet>& packets) {

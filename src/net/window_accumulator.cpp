@@ -4,10 +4,29 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace pmiot::net {
 
 namespace {
+
+obs::Counter& packets_ingested_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "net.window_accumulator.packets_ingested");
+  return c;
+}
+
+obs::Counter& windows_emitted_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "net.window_accumulator.windows_emitted");
+  return c;
+}
+
+obs::Counter& idle_windows_dropped_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "net.window_accumulator.idle_windows_dropped");
+  return c;
+}
 
 // Same distinct-value tracker as extract_window_features uses.
 template <typename T>
@@ -41,6 +60,8 @@ void WindowAccumulator::add(const Packet& p) {
   const bool up = p.src_ip == device_ip_;
   const bool down = p.dst_ip == device_ip_;
   if (!up && !down) return;
+
+  packets_ingested_counter().add();
 
   // Mirrors extract_window_features packet ingestion exactly — same
   // operations in the same order, so finished windows match bit-for-bit.
@@ -112,6 +133,9 @@ void WindowAccumulator::close_window() {
       f[16] = static_cast<double>(state_.flow_table.flows().size());
     }
     rows_.push_back(WindowRow{current_, std::move(f)});
+    windows_emitted_counter().add();
+  } else {
+    idle_windows_dropped_counter().add();
   }
   ++current_;
   window_end_ = static_cast<double>(current_ + 1) * window_s_;

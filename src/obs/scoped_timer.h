@@ -1,0 +1,49 @@
+// RAII wall-clock span feeding an obs::Timer.
+//
+// Timer durations are scheduling- and machine-dependent by nature, so they
+// are *excluded* from the determinism contract: deterministic snapshots
+// omit timers entirely (see src/obs/metrics.h). This header is the one
+// place in src/ allowed to read a clock — pmiot_lint's `wall-clock` /
+// `src-timing` rules carve out src/obs/ exactly so that every other
+// src/ module stays clock-free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace pmiot::obs {
+
+/// Records the wall duration of its scope into `timer` on destruction.
+/// When metrics are disabled the constructor skips the clock read, so the
+/// off path stays a branch on the cached bool.
+///
+///   static obs::Timer& t =
+///       obs::MetricsRegistry::instance().timer("ml.forest.fit");
+///   obs::ScopedTimer span(t);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) noexcept
+      : timer_(timer), armed_(enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    timer_.record_ns(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace pmiot::obs

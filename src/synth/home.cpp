@@ -4,8 +4,25 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace pmiot::synth {
+
+namespace {
+
+obs::Counter& homes_generated_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("synth.homes_generated");
+  return c;
+}
+
+obs::Counter& appliances_simulated_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "synth.appliances_simulated");
+  return c;
+}
+
+}  // namespace
 
 std::size_t HomeTrace::appliance_index(const std::string& appliance) const {
   for (std::size_t i = 0; i < appliance_names.size(); ++i) {
@@ -44,6 +61,8 @@ HomeTrace simulate_home(const HomeConfig& config, const CivilDate& start,
         std::max(0.0, aggregate[t] + rng.normal(0.0, config.meter_noise_kw));
   }
   trace.aggregate = std::move(aggregate);
+  homes_generated_counter().add();
+  appliances_simulated_counter().add(config.appliances.size());
   return trace;
 }
 

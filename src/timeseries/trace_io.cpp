@@ -23,6 +23,14 @@ std::string timestamp_of(const TimeSeries& series, std::size_t i) {
   return buf;
 }
 
+// `getline` splits on '\n' only, so a file written (or edited) with CRLF
+// line endings leaves a '\r' on every line. Strip exactly one: trace values
+// never contain carriage returns, and stripping more would mask genuinely
+// malformed rows.
+void strip_trailing_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 CivilDate parse_date(const std::string& text) {
   int year = 0, month = 0, day = 0;
   PMIOT_CHECK(std::sscanf(text.c_str(), "%d-%d-%d", &year, &month, &day) == 3,
@@ -51,9 +59,13 @@ void write_csv(std::ostream& os, const TimeSeries& series,
 
 TimeSeries read_csv(std::istream& is) {
   std::string line;
-  PMIOT_CHECK(std::getline(is, line) && line == "# pmiot-trace v1",
+  PMIOT_CHECK(static_cast<bool>(std::getline(is, line)),
               "missing pmiot-trace header");
-  PMIOT_CHECK(std::getline(is, line), "missing metadata line");
+  strip_trailing_cr(line);
+  PMIOT_CHECK(line == "# pmiot-trace v1", "missing pmiot-trace header");
+  PMIOT_CHECK(static_cast<bool>(std::getline(is, line)),
+              "missing metadata line");
+  strip_trailing_cr(line);
 
   char date_buf[16];
   int start_minute = 0, interval_seconds = 0;
@@ -69,7 +81,8 @@ TimeSeries read_csv(std::istream& is) {
   std::vector<double> values;
   TimeSeries probe(meta);  // validates meta; also used for timestamp checks
   while (std::getline(is, line)) {
-    if (line.empty()) continue;
+    strip_trailing_cr(line);
+    if (line.empty()) continue;  // tolerates a trailing blank line
     const auto comma = line.find(',');
     PMIOT_CHECK(comma != std::string::npos, "malformed row: " + line);
     const std::string stamp = line.substr(0, comma);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "common/stats.h"
@@ -399,6 +400,36 @@ TEST(Dp, LaplaceScale) {
   EXPECT_DOUBLE_EQ(laplace_scale(10.0, 2.0), 5.0);
   EXPECT_THROW(laplace_scale(0.0, 1.0), InvalidArgument);
   EXPECT_THROW(laplace_scale(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Dp, LaplaceScaleRejectsDegenerateInputs) {
+  // A negative sensitivity would silently yield a negative scale (and
+  // meaningless noise); NaN/inf would propagate instead of erroring.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(laplace_scale(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(laplace_scale(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW(laplace_scale(kNan, 1.0), InvalidArgument);
+  EXPECT_THROW(laplace_scale(1.0, kNan), InvalidArgument);
+  EXPECT_THROW(laplace_scale(kInf, 1.0), InvalidArgument);
+  EXPECT_THROW(laplace_scale(1.0, kInf), InvalidArgument);
+}
+
+TEST(Dp, AggregateRejectsEmptyAndMismatchedHomes) {
+  Rng rng(3);
+  EXPECT_THROW(dp_aggregate({}, 1.0, 10.0, rng), InvalidArgument);
+
+  // Homes with different lengths (or grids) must be a checked error,
+  // not out-of-bounds accumulation.
+  std::vector<ts::TimeSeries> mismatched{
+      ts::TimeSeries(ts::TraceMeta{}, {1.0, 2.0, 3.0}),
+      ts::TimeSeries(ts::TraceMeta{}, {1.0, 2.0})};
+  EXPECT_THROW(dp_aggregate(mismatched, 1.0, 10.0, rng), InvalidArgument);
+
+  std::vector<ts::TimeSeries> mixed_grid{
+      ts::TimeSeries(ts::TraceMeta{CivilDate{2017, 6, 1}, 0, 60}, {1.0}),
+      ts::TimeSeries(ts::TraceMeta{CivilDate{2017, 6, 2}, 0, 60}, {1.0})};
+  EXPECT_THROW(dp_aggregate(mixed_grid, 1.0, 10.0, rng), InvalidArgument);
 }
 
 std::vector<ts::TimeSeries> small_neighborhood(int homes, int days,

@@ -74,6 +74,34 @@ TEST(Lint, FlagsSteadyClockOnlyUnderSrc) {
   EXPECT_TRUE(rules_of("tests/a.cpp", source).empty());
 }
 
+TEST(Lint, ObsCarveOutAllowsClocksUnderSrcObsOnly) {
+  // src/obs/ owns timer spans that are excluded from the determinism
+  // contract, so both timing rules stand down there — and only there.
+  const std::string steady = "auto t0 = std::chrono::steady_clock::now();";
+  const std::string wall = "auto t = std::chrono::system_clock::now();";
+  EXPECT_TRUE(rules_of("src/obs/scoped_timer.h", steady).empty());
+  EXPECT_TRUE(rules_of("src/obs/metrics.cpp", wall).empty());
+  EXPECT_TRUE(rules_of("src/obs/metrics.cpp", "auto t = time(nullptr);")
+                  .empty());
+
+  // The same fixtures still fire everywhere else under src/.
+  EXPECT_EQ(rules_of("src/ml/a.cpp", steady),
+            std::vector<std::string>{"src-timing"});
+  EXPECT_EQ(rules_of("src/net/a.cpp", wall),
+            std::vector<std::string>{"wall-clock"});
+  EXPECT_EQ(rules_of("src/common/parallel.cpp", wall),
+            std::vector<std::string>{"wall-clock"});
+
+  // Only the src/obs/ directory matches — not lookalike prefixes.
+  EXPECT_EQ(rules_of("src/observability/a.cpp", steady),
+            std::vector<std::string>{"src-timing"});
+
+  // The carve-out is strictly scoped to the timing rules: ambient
+  // randomness is still banned in src/obs/.
+  EXPECT_EQ(rules_of("src/obs/metrics.cpp", "int x = rand();"),
+            std::vector<std::string>{"raw-rand"});
+}
+
 TEST(Lint, FlagsUnseededRngInParallelFor) {
   const std::string bad = R"cpp(
     par::parallel_for(0, n, [&](std::size_t i) {

@@ -263,6 +263,63 @@ TEST(TraceIo, HeaderCarriesTimestamps) {
   EXPECT_NE(text.find("2017-06-01T00:01,"), std::string::npos);
 }
 
+TEST(TraceIo, RoundTripsThroughCrlfCsv) {
+  // A trace written or edited on Windows carries \r\n line endings; the
+  // reader must strip the trailing \r from the header, the metadata line,
+  // and every data row.
+  Rng rng(7);
+  TimeSeries s(TraceMeta{CivilDate{2017, 6, 1}, 30, 300},
+               std::vector<double>{});
+  for (int i = 0; i < 50; ++i) s.push_back(rng.uniform(0.0, 8.0));
+  std::ostringstream os;
+  write_csv(os, s, 9);
+
+  std::string crlf;
+  for (char c : os.str()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::istringstream is(crlf);
+  const auto loaded = read_csv(is);
+  ASSERT_EQ(loaded.size(), s.size());
+  EXPECT_EQ(loaded.meta(), s.meta());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(loaded[i], s[i], 1e-8);
+  }
+
+  // And a CRLF trace re-serializes identically to its LF twin.
+  std::ostringstream os2;
+  write_csv(os2, loaded, 9);
+  std::istringstream lf(os.str());
+  std::ostringstream os3;
+  write_csv(os3, read_csv(lf), 9);
+  EXPECT_EQ(os2.str(), os3.str());
+}
+
+TEST(TraceIo, ToleratesTrailingBlankLine) {
+  const std::string base =
+      "# pmiot-trace v1\n"
+      "# start=2017-06-01 start_minute=0 interval_seconds=60\n"
+      "2017-06-01T00:00,1.0\n"
+      "2017-06-01T00:01,2.0\n";
+  for (const char* tail : {"\n", "\r\n", ""}) {
+    std::istringstream is(base + tail);
+    const auto loaded = read_csv(is);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded[0], 1.0);
+    EXPECT_DOUBLE_EQ(loaded[1], 2.0);
+  }
+}
+
+TEST(TraceIo, CrlfDoesNotMaskCorruption) {
+  // Only one trailing \r is forgiven; an interior \r is still junk.
+  std::istringstream is(
+      "# pmiot-trace v1\r\n"
+      "# start=2017-06-01 start_minute=0 interval_seconds=60\r\n"
+      "2017-06-01T00:00,1.0\r\r\n");
+  EXPECT_THROW(read_csv(is), pmiot::InvalidArgument);
+}
+
 TEST(TraceIo, RejectsCorruptedInput) {
   {
     std::istringstream is("not a trace\n");

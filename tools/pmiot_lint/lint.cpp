@@ -177,10 +177,12 @@ constexpr RuleInfo kRules[] = {
      "reproducibility; use a seeded pmiot::Rng"},
     {"wall-clock",
      "system_clock/time(nullptr)/gettimeofday/clock(): results must not "
-     "depend on wall-clock time"},
+     "depend on wall-clock time (src/obs/ exempt: obs timers are outside "
+     "the determinism contract)"},
     {"src-timing",
      "steady_clock/high_resolution_clock under src/: timing belongs in "
-     "bench/, library results must not branch on elapsed time"},
+     "bench/, library results must not branch on elapsed time (src/obs/ "
+     "exempt)"},
     {"par-rng-seed",
      "RNG constructed inside a parallel_for lambda must take a per-shard "
      "seed (shard_seed or a precomputed seed value)"},
@@ -329,7 +331,8 @@ bool in_regions(const std::vector<ParRegion>& regions, std::size_t pos) {
 }
 
 void check_banned_calls(const std::string& path, const std::string& code,
-                        bool in_src, std::vector<Diagnostic>& findings) {
+                        bool in_src, bool in_obs,
+                        std::vector<Diagnostic>& findings) {
   const auto flag = [&](std::size_t pos, const char* rule,
                         const std::string& what) {
     findings.push_back({path, line_of(code, pos), rule, what});
@@ -353,6 +356,10 @@ void check_banned_calls(const std::string& path, const std::string& code,
            std::string(why) + "; use a seeded pmiot::Rng instead");
     }
   }
+  // src/obs/ is the one place in the tree allowed to read clocks: obs
+  // timers report wall durations that are explicitly excluded from the
+  // determinism contract. Everywhere else both rules stay armed.
+  if (in_obs) return;
   static const char* kWallClockWords[] = {"system_clock", "gettimeofday",
                                           "clock_gettime"};
   for (const char* word : kWallClockWords) {
@@ -695,6 +702,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& content) {
   const ScannedSource source = scan(content);
   const bool in_src = path.rfind("src/", 0) == 0;
+  const bool in_obs = path.rfind("src/obs/", 0) == 0;
   const bool is_header = path.size() > 2 &&
                          path.compare(path.size() - 2, 2, ".h") == 0;
 
@@ -702,7 +710,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   std::vector<Allow> allows = collect_allows(source, path, meta);
 
   std::vector<Diagnostic> findings;
-  check_banned_calls(path, source.code, in_src, findings);
+  check_banned_calls(path, source.code, in_src, in_obs, findings);
   check_par_regions(path, source.code, findings);
   check_unordered_iteration(path, source.code, findings);
   check_atomic_float(path, source.code, findings);

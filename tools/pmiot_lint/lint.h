@@ -14,8 +14,12 @@
 //                           seeded pmiot::Rng.
 //   wall-clock      (all)   system_clock / time(nullptr) / gettimeofday /
 //                           clock(): results must not depend on wall time.
+//                           Carve-out: src/obs/ may read clocks — obs timer
+//                           spans are excluded from the determinism
+//                           contract by design.
 //   src-timing      (src)   steady_clock & friends in library code — timing
-//                           belongs in bench/, not in results.
+//                           belongs in bench/, not in results. Same
+//                           src/obs/ carve-out as wall-clock.
 //   par-rng-seed    (all)   RNG constructed inside a parallel_for lambda
 //                           must be seeded from shard_seed (or an explicit
 //                           per-shard seed value mentioning "seed").
