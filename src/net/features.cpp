@@ -48,6 +48,16 @@ const std::vector<std::string>& feature_names() {
   return names;
 }
 
+void check_feature_layout() {
+  const auto& names = feature_names();
+  PMIOT_ASSERT(names.size() > kFeaturePktRateDown,
+               "feature vector narrower than the policy indices");
+  PMIOT_ASSERT(names[kFeaturePktRateUp] == "pkt_rate_up",
+               "kFeaturePktRateUp no longer names pkt_rate_up");
+  PMIOT_ASSERT(names[kFeaturePktRateDown] == "pkt_rate_down",
+               "kFeaturePktRateDown no longer names pkt_rate_down");
+}
+
 std::vector<double> extract_window_features(std::span<const Packet> packets,
                                             std::uint32_t device_ip,
                                             double t0, double t1) {

@@ -26,6 +26,17 @@ namespace pmiot::net {
 /// Names of the features emitted by `extract_window_features`, in order.
 const std::vector<std::string>& feature_names();
 
+/// Positions of the features that policy code reads by index (the gateway's
+/// evidence gate sums the two packet rates). Each constant is validated
+/// against `feature_names()` by `check_feature_layout`, so reordering the
+/// feature vector cannot silently misroute the policy inputs.
+inline constexpr std::size_t kFeaturePktRateUp = 0;    ///< "pkt_rate_up"
+inline constexpr std::size_t kFeaturePktRateDown = 1;  ///< "pkt_rate_down"
+
+/// Asserts that the kFeature* indices above still name the features they
+/// claim to (throws InternalError on drift). Called at gateway startup.
+void check_feature_layout();
+
 /// Computes the feature vector for one device (identified by its LAN IP)
 /// over packets within [t0, t1). `packets` may contain other devices'
 /// traffic; only packets to/from `device_ip` count. Returns a vector sized

@@ -30,6 +30,12 @@ obs::Counter& quarantines_counter() {
   return c;
 }
 
+/// The quarantine remediation carve-out: UDP DNS only. TCP to port 53
+/// (zone transfers, DNS tunnels) is dropped like everything else.
+bool quarantine_exempt(const Packet& p) {
+  return p.protocol == Protocol::kUdp && p.dst_port == 53;
+}
+
 }  // namespace
 
 const char* to_string(Zone zone) {
@@ -47,47 +53,125 @@ SmartGateway::SmartGateway(const ml::Classifier& classifier,
   PMIOT_CHECK(options_.window_s > 0.0, "window must be positive");
   PMIOT_CHECK(options_.windows_to_quarantine >= 1,
               "quarantine debounce must be at least 1 window");
+  check_feature_layout();
 }
 
 void SmartGateway::register_device(std::uint32_t ip, std::string name) {
   PMIOT_CHECK(is_lan(ip), "devices must be on the LAN");
+  PMIOT_CHECK(ip != options_.router_ip, "the router is not a policed device");
   devices_[ip] = std::move(name);
 }
 
-GatewayReport SmartGateway::process(std::span<const Packet> packets,
-                                    double duration_s) const {
-  PMIOT_CHECK(duration_s >= options_.window_s, "capture shorter than window");
-  GatewayReport report;
+int SmartGateway::window_count(double duration_s) const {
+  PMIOT_CHECK(duration_s > 0.0, "duration must be positive");
+  return static_cast<int>(std::floor(duration_s / options_.window_s));
+}
+
+std::vector<DeviceRows> SmartGateway::extract_rows(
+    std::span<const Packet> packets, double duration_s) const {
+  const int windows = window_count(duration_s);
+  std::vector<DeviceRows> out;
+  out.reserve(devices_.size());
+  for (const auto& [ip, name] : devices_) {
+    DeviceRows device;
+    device.ip = ip;
+    device.name = name;
+    // A capture shorter than one window has no rows to extract; routine
+    // under fleet churn, not an error.
+    if (windows > 0) {
+      device.rows =
+          windowed_features(packets, ip, duration_s, options_.window_s);
+    }
+    out.push_back(std::move(device));
+  }
+  return out;
+}
+
+std::vector<PolicyCounts> SmartGateway::policy_counts(
+    std::span<const Packet> packets, double duration_s) const {
+  const auto windows = static_cast<std::size_t>(window_count(duration_s));
+
+  std::map<std::uint32_t, std::size_t> index;
+  std::vector<PolicyCounts> out(devices_.size());
+  for (const auto& [ip, name] : devices_) {
+    const auto i = index.size();
+    index[ip] = i;
+    out[i].nonexempt_from.assign(windows + 1, 0);
+    out[i].lateral_nonexempt_from.assign(windows + 1, 0);
+  }
+
+  for (const auto& p : packets) {
+    const auto it = index.find(p.src_ip);
+    if (it == index.end()) continue;
+    auto& pc = out[it->second];
+    ++pc.policed;
+    const bool lateral = is_lan(p.dst_ip) && p.dst_ip != options_.router_ip &&
+                         devices_.count(p.dst_ip) == 0;
+    if (lateral) ++pc.lateral_total;
+    if (quarantine_exempt(p)) continue;
+    // Largest boundary index k in [0, windows] with timestamp >= k *
+    // window_s, using the same `int * double` boundary arithmetic as the
+    // replay's quarantine timestamps so the bucket test is exact.
+    std::size_t k = 0;
+    if (p.timestamp_s > 0.0) {
+      k = std::min(windows,
+                   static_cast<std::size_t>(p.timestamp_s / options_.window_s));
+      while (k + 1 <= windows &&
+             p.timestamp_s >= static_cast<double>(k + 1) * options_.window_s) {
+        ++k;
+      }
+      while (k > 0 &&
+             p.timestamp_s < static_cast<double>(k) * options_.window_s) {
+        --k;
+      }
+    }
+    ++pc.nonexempt_from[k];
+    if (lateral) ++pc.lateral_nonexempt_from[k];
+  }
+
+  // Bucket counts -> suffix sums: [k] covers every packet at or after the
+  // boundary k * window_s.
+  for (auto& pc : out) {
+    packets_policed_counter().add(pc.policed);
+    for (std::size_t k = windows; k-- > 0;) {
+      pc.nonexempt_from[k] += pc.nonexempt_from[k + 1];
+      pc.lateral_nonexempt_from[k] += pc.lateral_nonexempt_from[k + 1];
+    }
+  }
+  return out;
+}
+
+GatewayReport SmartGateway::replay(
+    std::span<const DeviceRows> devices,
+    std::span<const std::vector<int>> predictions,
+    std::span<const PolicyCounts> counts, double duration_s) const {
+  PMIOT_CHECK(devices.size() == predictions.size() &&
+                  devices.size() == counts.size(),
+              "devices/predictions/counts must align");
+  const int windows = window_count(duration_s);
 
   struct State {
     int consecutive_anomalous = 0;
     Zone zone = Zone::kIot;
     double quarantined_at = -1.0;
+    int quarantined_window = -1;  ///< boundary index: quarantined_at / window_s
     double max_score = 0.0;
     std::vector<int> type_votes;
   };
-  std::map<std::uint32_t, State> state;
-  for (const auto& [ip, name] : devices_) state[ip] = State{};
-
-  // One streaming pass over the capture per device (idle windows omitted;
-  // window_index keeps the rows aligned with wall-clock windows), instead
-  // of rescanning the whole capture once per window per device.
-  std::map<std::uint32_t, std::vector<WindowRow>> device_rows;
-  std::map<std::uint32_t, std::size_t> cursor;
-  for (const auto& [ip, name] : devices_) {
-    device_rows[ip] =
-        windowed_features(packets, ip, duration_s, options_.window_s);
-    cursor[ip] = 0;
+  std::vector<State> state(devices.size());
+  std::vector<std::size_t> cursor(devices.size(), 0);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    PMIOT_CHECK(predictions[i].size() == devices[i].rows.size(),
+                "one prediction per window row required");
   }
 
-  const int windows =
-      static_cast<int>(std::floor(duration_s / options_.window_s));
+  GatewayReport report;
   for (int w = 0; w < windows; ++w) {
     const double t1 = (w + 1) * options_.window_s;
-    for (const auto& [ip, name] : devices_) {
-      auto& st = state[ip];
-      const auto& rows = device_rows[ip];
-      auto& next = cursor[ip];
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      auto& st = state[i];
+      const auto& rows = devices[i].rows;
+      auto& next = cursor[i];
       while (next < rows.size() &&
              rows[next].window_index < static_cast<std::size_t>(w)) {
         ++next;
@@ -98,10 +182,12 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
       }
       const auto& features = rows[next].features;
 
-      const int predicted = classifier_.predict(features);
+      const int predicted = predictions[i][next];
       st.type_votes.push_back(predicted);
       // Evidence gate: a near-silent window cannot be judged (or do harm).
-      const double window_packets = (features[0] + features[1]) * options_.window_s;
+      const double window_packets =
+          (features[kFeaturePktRateUp] + features[kFeaturePktRateDown]) *
+          options_.window_s;
       if (window_packets < options_.min_packets_to_score) continue;
       const double score = detector_.score(features, predicted);
       windows_scored_counter().add();
@@ -111,7 +197,7 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
       if (score > options_.anomaly_threshold) {
         ++st.consecutive_anomalous;
         report.events.push_back(GatewayEvent{
-            t1, name,
+            t1, devices[i].name,
             "anomalous window (score " + format_double(score, 1) +
                 ", looks like " +
                 std::string(to_string(static_cast<DeviceType>(predicted))) +
@@ -119,9 +205,10 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
         if (st.consecutive_anomalous >= options_.windows_to_quarantine) {
           st.zone = Zone::kQuarantined;
           st.quarantined_at = t1;
+          st.quarantined_window = w + 1;
           quarantines_counter().add();
-          report.events.push_back(
-              GatewayEvent{t1, name, "QUARANTINED: repeated anomalies"});
+          report.events.push_back(GatewayEvent{
+              t1, devices[i].name, "QUARANTINED: repeated anomalies"});
         }
       } else {
         st.consecutive_anomalous = 0;
@@ -129,44 +216,53 @@ GatewayReport SmartGateway::process(std::span<const Packet> packets,
     }
   }
 
-  // Policy accounting over the raw capture: lateral LAN->LAN packets from
-  // IoT devices are blocked by least privilege; everything from a
-  // quarantined device after its quarantine time is dropped (except DNS).
-  for (const auto& p : packets) {
-    auto it = state.find(p.src_ip);
-    if (it == state.end()) continue;
-    packets_policed_counter().add();
-    const auto& st = it->second;
-    if (is_lan(p.dst_ip) && (p.dst_ip & 0xff) != 1 &&
-        devices_.count(p.dst_ip) == 0) {
-      // LAN destination that is not the router and not a registered IoT
-      // peer (hub-to-device chatter within the IoT zone is allowed).
-      ++report.lateral_packets_blocked;
-    }
-    if (st.zone == Zone::kQuarantined && p.timestamp_s >= st.quarantined_at &&
-        p.dst_port != 53) {
-      ++report.quarantine_packets_dropped;
-    }
-  }
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const auto& st = state[i];
+    const auto& pc = counts[i];
 
-  for (const auto& [ip, name] : devices_) {
-    const auto& st = state[ip];
+    // Policy accounting from the precomputed summaries. Quarantine drop
+    // first (everything at or after the quarantine boundary except UDP
+    // DNS), lateral blocking on what the quarantine stage let through —
+    // the counters are mutually exclusive by construction.
+    if (st.zone == Zone::kQuarantined) {
+      const auto k = static_cast<std::size_t>(st.quarantined_window);
+      report.quarantine_packets_dropped += pc.nonexempt_from[k];
+      report.lateral_packets_blocked +=
+          pc.lateral_total - pc.lateral_nonexempt_from[k];
+    } else {
+      report.lateral_packets_blocked += pc.lateral_total;
+    }
+
     DeviceVerdict verdict;
-    verdict.device = name;
+    verdict.device = devices[i].name;
     verdict.final_zone = st.zone;
     verdict.quarantined_at_s = st.quarantined_at;
     verdict.max_anomaly_score = st.max_score;
     if (!st.type_votes.empty()) {
-      std::vector<int> counts(kNumDeviceTypes, 0);
+      std::vector<int> votes(kNumDeviceTypes, 0);
       for (int v : st.type_votes) {
-        if (v >= 0 && v < kNumDeviceTypes) ++counts[static_cast<std::size_t>(v)];
+        if (v >= 0 && v < kNumDeviceTypes) ++votes[static_cast<std::size_t>(v)];
       }
       verdict.predicted_type = static_cast<int>(
-          std::max_element(counts.begin(), counts.end()) - counts.begin());
+          std::max_element(votes.begin(), votes.end()) - votes.begin());
     }
     report.verdicts.push_back(std::move(verdict));
   }
   return report;
+}
+
+GatewayReport SmartGateway::process(std::span<const Packet> packets,
+                                    double duration_s) const {
+  const auto rows = extract_rows(packets, duration_s);
+  std::vector<std::vector<int>> predictions(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    predictions[i].reserve(rows[i].rows.size());
+    for (const auto& row : rows[i].rows) {
+      predictions[i].push_back(classifier_.predict(row.features));
+    }
+  }
+  const auto counts = policy_counts(packets, duration_s);
+  return replay(rows, predictions, counts, duration_s);
 }
 
 }  // namespace pmiot::net

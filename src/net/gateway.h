@@ -6,7 +6,24 @@
 //     (anomaly detector over observation windows),
 //  3. enforce least privilege — IoT devices are isolated from other local
 //     devices by default, and a device that stays anomalous is quarantined
-//     (all traffic dropped except DNS, so remediation is still possible).
+//     (all traffic dropped except UDP DNS, so remediation is still possible).
+//
+// Policy contract (pinned by the GatewayPolicy tests):
+//  * Quarantine drop takes precedence: once a device is quarantined, every
+//    packet it sends at or after `quarantined_at_s` is dropped and counted
+//    in `quarantine_packets_dropped` — except UDP packets to port 53, the
+//    remediation carve-out. TCP to port 53 (zone transfers, DNS tunnels) is
+//    NOT exempt.
+//  * Lateral blocking applies to whatever the quarantine stage let through:
+//    a packet to a LAN destination that is neither `GatewayOptions::
+//    router_ip` nor a registered peer counts in `lateral_packets_blocked`.
+//  * The two counters are mutually exclusive — no packet is counted twice.
+//
+// `process` is the composition of three stages that are also public so the
+// fleet layer (src/fleet) can batch the classification step across homes:
+// `extract_rows` (windowed features per device), `policy_counts` (compact
+// per-device accounting summaries, no packet retention), and `replay` (the
+// scoring/quarantine state machine plus counter derivation).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +36,8 @@
 #include "ml/classifier.h"
 #include "net/anomaly.h"
 #include "net/device.h"
+#include "net/features.h"
+#include "net/packet.h"
 
 namespace pmiot::net {
 
@@ -35,6 +54,10 @@ struct GatewayOptions {
   /// they are classified but not anomaly-scored. Every attack behaviour
   /// floods far past this.
   int min_packets_to_score = 30;
+  /// The router's own LAN address. Traffic to the router (DNS, DHCP-style
+  /// chatter) is never "lateral movement"; everything else on the LAN that
+  /// is not a registered peer is.
+  std::uint32_t router_ip = make_ip(10, 0, 0, 1);
 };
 
 /// One log line from the gateway's decision loop.
@@ -60,6 +83,31 @@ struct GatewayReport {
   std::uint64_t quarantine_packets_dropped = 0;
 };
 
+/// Windowed feature rows for one registered device (stage-1 output).
+struct DeviceRows {
+  std::uint32_t ip = 0;
+  std::string name;
+  std::vector<WindowRow> rows;  ///< idle windows omitted, window_index kept
+};
+
+/// Compact per-device policy-accounting summary: one pass over a capture,
+/// enough to reproduce the lateral/quarantine counters for *any* quarantine
+/// decision without retaining the packets. Quarantine can only start at a
+/// window boundary k * window_s (k in [1, windows]), so suffix counts keyed
+/// by boundary index cover every reachable outcome exactly.
+struct PolicyCounts {
+  /// Packets from this device (drives the packets-policed metric).
+  std::uint64_t policed = 0;
+  /// Lateral-eligible packets: LAN destination, not the router, not a
+  /// registered peer.
+  std::uint64_t lateral_total = 0;
+  /// [k] = packets with timestamp >= k * window_s that are not exempt
+  /// (exempt = UDP to port 53). Size windows + 1.
+  std::vector<std::uint64_t> nonexempt_from;
+  /// [k] = of the above, those that are also lateral-eligible.
+  std::vector<std::uint64_t> lateral_nonexempt_from;
+};
+
 /// Offline gateway evaluation: replays a time-ordered capture, windows it,
 /// classifies and scores each device, and applies the isolation policy.
 class SmartGateway {
@@ -73,9 +121,39 @@ class SmartGateway {
   /// Registers a device the gateway will police.
   void register_device(std::uint32_t ip, std::string name);
 
-  /// Processes a capture of `duration_s` seconds.
+  /// Processes a capture of `duration_s` seconds. A capture shorter than
+  /// one window yields an empty report (no events, default per-device
+  /// verdicts) with lateral accounting still applied — routine under fleet
+  /// churn, never an error.
   GatewayReport process(std::span<const Packet> packets,
                         double duration_s) const;
+
+  /// Number of full observation windows in a capture of `duration_s`.
+  int window_count(double duration_s) const;
+
+  // --- staged API (used by process() and by pmiot::fleet) -----------------
+
+  /// Stage 1: windowed feature rows per registered device, in registration
+  /// (ascending IP) order — the order verdicts are reported in.
+  std::vector<DeviceRows> extract_rows(std::span<const Packet> packets,
+                                       double duration_s) const;
+
+  /// Stage 2: per-device policy summaries, aligned with `extract_rows`
+  /// output. One pass over the capture; nothing is retained per packet.
+  std::vector<PolicyCounts> policy_counts(std::span<const Packet> packets,
+                                          double duration_s) const;
+
+  /// Stage 3: replays the scoring/quarantine state machine over the rows
+  /// with externally supplied predictions (`predictions[i][r]` is the
+  /// predicted type of `devices[i].rows[r]`) and derives the policy
+  /// counters from the summaries. `process` == stages 1+2 with per-row
+  /// `Classifier::predict`, then this; the fleet path substitutes one
+  /// batched `predict_all` across homes — `predict_all` is contractually
+  /// identical to per-row `predict`, so the reports match bitwise.
+  GatewayReport replay(std::span<const DeviceRows> devices,
+                       std::span<const std::vector<int>> predictions,
+                       std::span<const PolicyCounts> counts,
+                       double duration_s) const;
 
  private:
   const ml::Classifier& classifier_;

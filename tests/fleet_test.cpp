@@ -1,0 +1,172 @@
+// Tests for the fleet-scale gateway (src/fleet): deterministic shard-seeded
+// world generation, bitwise equality of the batched fleet pass with the
+// per-home serial oracle at several pool widths, and a churn soak over a
+// long horizon.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "fleet/fleet_gateway.h"
+#include "ml/random_forest.h"
+#include "net/anomaly.h"
+#include "net/fingerprint.h"
+
+namespace pmiot::fleet {
+namespace {
+
+struct Models {
+  ml::RandomForest forest;
+  net::AnomalyDetector detector;
+};
+
+/// Trains the shared classifier + detector once per process, on windows the
+/// same length as the fleet gateway's default (120 s).
+const Models& trained_models() {
+  static const Models& models = *[] {
+    auto* m = new Models;
+    Rng rng(3);
+    net::FingerprintOptions options;
+    options.instances_per_type = 3;
+    options.duration_s = 2 * 3600.0;
+    options.window_s = fleet_gateway_defaults().window_s;
+    const auto data = net::build_fingerprint_dataset(options, rng);
+    m->forest.fit(data);
+    m->detector.fit(data);
+    return m;
+  }();
+  return models;
+}
+
+TEST(Fleet, MakeHomeIsDeterministicPerHomeIndex) {
+  FleetOptions options;
+  options.duration_s = 600.0;
+  const auto a = make_home(options, 3);
+  const auto b = make_home(options, 3);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  EXPECT_EQ(a.infected, b.infected);
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    ASSERT_EQ(a.packets[i].timestamp_s, b.packets[i].timestamp_s);
+    ASSERT_EQ(a.packets[i].src_ip, b.packets[i].src_ip);
+    ASSERT_EQ(a.packets[i].size_bytes, b.packets[i].size_bytes);
+  }
+
+  // A different home index is a different world.
+  const auto c = make_home(options, 4);
+  bool differs = a.devices.size() != c.devices.size() ||
+                 a.packets.size() != c.packets.size();
+  for (std::size_t i = 0; !differs && i < a.packets.size(); ++i) {
+    differs = a.packets[i].timestamp_s != c.packets[i].timestamp_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Fleet, MakeHomeRespectsRosterAndLifecycles) {
+  FleetOptions options;
+  options.duration_s = 600.0;
+  options.join_fraction = 0.5;
+  options.leave_fraction = 0.5;
+  for (std::size_t home = 0; home < 16; ++home) {
+    const auto world = make_home(options, home);
+    ASSERT_GE(world.devices.size(),
+              static_cast<std::size_t>(options.min_devices));
+    ASSERT_LE(world.devices.size(),
+              static_cast<std::size_t>(options.max_devices));
+    if (world.infected != kNoInfectedDevice) {
+      ASSERT_LT(world.infected, world.devices.size());
+      const auto& sick = world.devices[world.infected];
+      EXPECT_NE(sick.profile.infection, net::Infection::kNone);
+      // The compromised device keeps the full lifetime.
+      EXPECT_EQ(sick.join_s, 0.0);
+      EXPECT_EQ(sick.leave_s, options.duration_s);
+    }
+    // The merged capture is time-sorted and every device's emissions stay
+    // inside its [join_s, leave_s) lifecycle.
+    for (std::size_t i = 1; i < world.packets.size(); ++i) {
+      ASSERT_LE(world.packets[i - 1].timestamp_s,
+                world.packets[i].timestamp_s);
+    }
+    // Lifecycle check on each device's own WAN-bound emissions. (LAN-to-LAN
+    // packets can carry another device's source address: a hub's poll
+    // exchange includes the peer's response, and that traffic belongs to
+    // the hub's lifecycle, not the peer's.)
+    for (const auto& device : world.devices) {
+      ASSERT_LE(0.0, device.join_s);
+      ASSERT_LE(device.join_s, device.leave_s);
+      ASSERT_LE(device.leave_s, options.duration_s);
+      for (const auto& p : world.packets) {
+        if (p.src_ip != device.profile.ip || net::is_lan(p.dst_ip)) continue;
+        ASSERT_GE(p.timestamp_s, device.join_s);
+        ASSERT_LT(p.timestamp_s, device.leave_s);
+      }
+    }
+  }
+}
+
+TEST(Fleet, FleetPassMatchesSerialOracleAcrossPoolWidths) {
+  const auto& models = trained_models();
+  FleetOptions options;
+  options.homes = 24;
+  options.duration_s = 600.0;
+  options.base_seed = 7;
+  const FleetGateway fleet(models.forest, models.detector, options);
+  const auto oracle = fleet.process_serial();
+  EXPECT_GT(oracle.packets, 0u);
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    par::ThreadPool pool(width);
+    par::ScopedPoolOverride scoped(pool);
+    const auto batched = fleet.process_fleet();
+    EXPECT_EQ(describe_divergence(batched, oracle), "")
+        << "pool width " << width;
+    EXPECT_GT(batched.windows_classified, 0u);
+  }
+  // And at the process-default pool width.
+  const auto batched = fleet.process_fleet();
+  EXPECT_EQ(describe_divergence(batched, oracle), "");
+}
+
+TEST(Fleet, SoakChurnOverLongHorizon) {
+  const auto& models = trained_models();
+  FleetOptions options;
+  options.homes = 6;
+  options.duration_s = 4 * 3600.0;  // 120 gateway windows per home
+  options.base_seed = 11;
+  options.infected_fraction = 1.0;  // every home hosts one compromise
+  options.join_fraction = 0.5;
+  options.leave_fraction = 0.5;
+  const FleetGateway fleet(models.forest, models.detector, options);
+  const auto serial = fleet.process_serial();
+  const auto batched = fleet.process_fleet();
+  EXPECT_EQ(describe_divergence(batched, serial), "");
+  EXPECT_GT(batched.windows_classified, 0u);
+  // With a compromise in every home over a long horizon, the fleet must
+  // catch at least most of them — and drop traffic after it does.
+  EXPECT_GE(batched.quarantined_devices, static_cast<std::uint64_t>(
+                                             options.homes / 2));
+  EXPECT_GT(batched.quarantine_packets_dropped, 0u);
+}
+
+TEST(Fleet, RejectsUntrainedDetector) {
+  const auto& models = trained_models();
+  net::AnomalyDetector unfitted;
+  EXPECT_THROW(FleetGateway(models.forest, unfitted, FleetOptions{}),
+               InvalidArgument);
+}
+
+TEST(Fleet, RejectsEmptyPopulationAndBadRoster) {
+  const auto& models = trained_models();
+  FleetOptions none;
+  none.homes = 0;
+  EXPECT_THROW(FleetGateway(models.forest, models.detector, none),
+               InvalidArgument);
+  FleetOptions bad;
+  bad.min_devices = 5;
+  bad.max_devices = 4;
+  EXPECT_THROW(make_home(bad, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pmiot::fleet

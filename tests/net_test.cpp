@@ -647,5 +647,232 @@ TEST(Gateway, RejectsWanDeviceRegistration) {
                InvalidArgument);
 }
 
+// --- gateway policy ---------------------------------------------------------
+//
+// These tests isolate the quarantine state machine and counter derivation
+// from real model behaviour: a classifier stub always predicts type 0, and
+// the detector is fitted on two identical hand-built "normal" windows, so a
+// replica of that window scores ~0 while anything else blows the envelope.
+
+/// Predicts a fixed class regardless of input.
+class FixedClassifier : public ml::Classifier {
+ public:
+  void fit(const ml::Dataset&) override {}
+  int predict(std::span<const double>) const override { return 0; }
+  std::string name() const override { return "fixed"; }
+};
+
+/// 40 evenly paced UDP packets to the cloud: the device's "normal" window.
+void add_normal_window(std::vector<Packet>& packets, double t0,
+                       std::uint32_t dev) {
+  for (int i = 0; i < 40; ++i) {
+    packets.push_back(Packet{t0 + 0.1 + 0.2 * i, dev, make_ip(52, 20, 0, 1),
+                             40000, 443, Protocol::kUdp, 100});
+  }
+}
+
+/// A port-scan-shaped window: `count` large TCP packets to many distinct
+/// remotes and ports, far outside the trained envelope.
+void add_attack_window(std::vector<Packet>& packets, double t0,
+                       std::uint32_t dev, int count = 200) {
+  for (int i = 0; i < count; ++i) {
+    packets.push_back(
+        Packet{t0 + 0.01 + 8.0 * i / count, dev, make_ip(52, 20, 0, 2 + i % 200),
+               40000, static_cast<std::uint16_t>(1 + i), Protocol::kTcp, 1000});
+  }
+}
+
+struct PolicyRig {
+  FixedClassifier classifier;
+  AnomalyDetector detector;
+  GatewayOptions options;
+};
+
+PolicyRig make_policy_rig() {
+  PolicyRig rig;
+  rig.options.window_s = 10.0;
+  rig.options.windows_to_quarantine = 2;
+  rig.options.min_packets_to_score = 30;
+  const auto dev = make_ip(10, 0, 0, 10);
+  std::vector<Packet> train;
+  add_normal_window(train, 0.0, dev);
+  add_normal_window(train, 10.0, dev);
+  sort_by_time(train);
+  ml::Dataset clean;
+  clean.append(extract_window_features(train, dev, 0.0, 10.0), 0);
+  clean.append(extract_window_features(train, dev, 10.0, 20.0), 0);
+  rig.detector.fit(clean);
+  return rig;
+}
+
+TEST(GatewayPolicy, ShortCaptureReturnsEmptyReport) {
+  auto rig = make_policy_rig();
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  gateway.register_device(dev, "dev");
+  std::vector<Packet> packets;
+  packets.push_back(
+      Packet{1.0, dev, make_ip(10, 0, 0, 99), 1000, 80, Protocol::kTcp, 100});
+  packets.push_back(
+      Packet{2.0, dev, make_ip(52, 20, 0, 1), 1000, 443, Protocol::kUdp, 100});
+  // Shorter than one window: not an error — a default verdict per device,
+  // no events, and least privilege still enforced.
+  const auto report = gateway.process(packets, 5.0);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].final_zone, Zone::kIot);
+  EXPECT_EQ(report.verdicts[0].predicted_type, -1);
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_EQ(report.lateral_packets_blocked, 1u);
+  EXPECT_EQ(report.quarantine_packets_dropped, 0u);
+}
+
+TEST(GatewayPolicy, QuarantineExemptsUdpDnsOnly) {
+  auto rig = make_policy_rig();
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto router = rig.options.router_ip;
+  gateway.register_device(dev, "dev");
+  std::vector<Packet> packets;
+  add_attack_window(packets, 0.0, dev);
+  add_attack_window(packets, 10.0, dev);  // quarantined at t = 20
+  packets.push_back(Packet{25.0, dev, router, 5000, 53, Protocol::kUdp, 80});
+  packets.push_back(Packet{26.0, dev, router, 5000, 53, Protocol::kTcp, 80});
+  packets.push_back(
+      Packet{27.0, dev, make_ip(52, 20, 0, 1), 5000, 443, Protocol::kUdp, 80});
+  sort_by_time(packets);
+  const auto report = gateway.process(packets, 40.0);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].final_zone, Zone::kQuarantined);
+  EXPECT_EQ(report.verdicts[0].quarantined_at_s, 20.0);
+  // UDP:53 is the only carve-out; TCP:53 (DNS tunnels, zone transfers) and
+  // everything else is dropped.
+  EXPECT_EQ(report.quarantine_packets_dropped, 2u);
+  EXPECT_EQ(report.lateral_packets_blocked, 0u);
+}
+
+TEST(GatewayPolicy, CountersAreMutuallyExclusive) {
+  auto rig = make_policy_rig();
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto stranger = make_ip(10, 0, 0, 99);
+  gateway.register_device(dev, "dev");
+  std::vector<Packet> packets;
+  add_attack_window(packets, 0.0, dev);
+  add_attack_window(packets, 10.0, dev);  // quarantined at t = 20
+  // Lateral before quarantine: blocked by least privilege.
+  packets.push_back(Packet{5.0, dev, stranger, 5000, 80, Protocol::kTcp, 80});
+  // Lateral after quarantine: dropped by quarantine, NOT double-counted.
+  packets.push_back(Packet{25.0, dev, stranger, 5000, 80, Protocol::kTcp, 80});
+  sort_by_time(packets);
+  const auto report = gateway.process(packets, 40.0);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].final_zone, Zone::kQuarantined);
+  EXPECT_EQ(report.lateral_packets_blocked, 1u);
+  EXPECT_EQ(report.quarantine_packets_dropped, 1u);
+}
+
+TEST(GatewayPolicy, BoundaryPacketAtQuarantineInstantIsDropped) {
+  auto rig = make_policy_rig();
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  gateway.register_device(dev, "dev");
+  std::vector<Packet> packets;
+  add_attack_window(packets, 0.0, dev);
+  add_attack_window(packets, 10.0, dev);  // quarantined at t = 20
+  packets.push_back(
+      Packet{20.0, dev, make_ip(52, 20, 0, 1), 5000, 443, Protocol::kUdp, 80});
+  sort_by_time(packets);
+  const auto report = gateway.process(packets, 40.0);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].quarantined_at_s, 20.0);
+  // `quarantined_at` is inclusive: the packet at exactly t = 20 is dropped.
+  EXPECT_EQ(report.quarantine_packets_dropped, 1u);
+}
+
+TEST(GatewayPolicy, RouterIpIsConfigurable) {
+  auto rig = make_policy_rig();
+  rig.options.router_ip = make_ip(10, 0, 0, 254);
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  gateway.register_device(dev, "dev");
+  EXPECT_THROW(gateway.register_device(make_ip(10, 0, 0, 254), "router"),
+               InvalidArgument);
+  std::vector<Packet> packets;
+  // To the configured router: never lateral. To the *old* default router
+  // address (now just an unregistered LAN host): lateral.
+  packets.push_back(Packet{1.0, dev, make_ip(10, 0, 0, 254), 5000, 53,
+                           Protocol::kUdp, 80});
+  packets.push_back(
+      Packet{2.0, dev, make_ip(10, 0, 0, 1), 5000, 80, Protocol::kTcp, 80});
+  const auto report = gateway.process(packets, 5.0);
+  EXPECT_EQ(report.lateral_packets_blocked, 1u);
+}
+
+TEST(GatewayPolicy, LateralAppliesOnlyToUnregisteredPeers) {
+  auto rig = make_policy_rig();
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto peer = make_ip(10, 0, 0, 11);
+  gateway.register_device(dev, "dev");
+  gateway.register_device(peer, "peer");
+  std::vector<Packet> packets;
+  packets.push_back(Packet{1.0, dev, peer, 5000, 80, Protocol::kTcp, 80});
+  packets.push_back(Packet{2.0, dev, make_ip(10, 0, 0, 99), 5000, 80,
+                           Protocol::kTcp, 80});
+  packets.push_back(Packet{3.0, dev, rig.options.router_ip, 5000, 53,
+                           Protocol::kUdp, 80});
+  packets.push_back(Packet{4.0, peer, make_ip(10, 0, 0, 98), 5000, 80,
+                           Protocol::kTcp, 80});
+  const auto report = gateway.process(packets, 5.0);
+  // dev -> registered peer and dev -> router pass; the two packets to
+  // unregistered LAN hosts are blocked.
+  EXPECT_EQ(report.lateral_packets_blocked, 2u);
+}
+
+TEST(GatewayPolicy, SparseWindowsAreNeverScored) {
+  auto rig = make_policy_rig();
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  gateway.register_device(dev, "dev");
+  std::vector<Packet> packets;
+  // Attack-shaped traffic, but below min_packets_to_score in every window:
+  // classified, never anomaly-scored, never quarantined.
+  for (int w = 0; w < 4; ++w) {
+    add_attack_window(packets, 10.0 * w, dev, 20);
+  }
+  sort_by_time(packets);
+  const auto report = gateway.process(packets, 40.0);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].final_zone, Zone::kIot);
+  EXPECT_EQ(report.verdicts[0].predicted_type, 0);
+  EXPECT_EQ(report.verdicts[0].max_anomaly_score, 0.0);
+  EXPECT_TRUE(report.events.empty());
+}
+
+TEST(GatewayPolicy, CleanWindowResetsQuarantineDebounce) {
+  auto rig = make_policy_rig();
+  SmartGateway gateway(rig.classifier, rig.detector, rig.options);
+  const auto dev = make_ip(10, 0, 0, 10);
+  gateway.register_device(dev, "dev");
+  std::vector<Packet> packets;
+  add_attack_window(packets, 0.0, dev);
+  add_normal_window(packets, 10.0, dev);  // scored clean: debounce resets
+  add_attack_window(packets, 20.0, dev);
+  add_attack_window(packets, 30.0, dev);
+  sort_by_time(packets);
+  const auto report = gateway.process(packets, 40.0);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].final_zone, Zone::kQuarantined);
+  // Quarantine lands only after the second consecutive run of anomalies,
+  // at the end of window 3 — not at t = 20.
+  EXPECT_EQ(report.verdicts[0].quarantined_at_s, 40.0);
+}
+
+TEST(Features, PolicyIndicesMatchFeatureNames) {
+  EXPECT_NO_THROW(check_feature_layout());
+  EXPECT_EQ(feature_names()[kFeaturePktRateUp], "pkt_rate_up");
+  EXPECT_EQ(feature_names()[kFeaturePktRateDown], "pkt_rate_down");
+}
+
 }  // namespace
 }  // namespace pmiot::net
