@@ -12,10 +12,14 @@
 // `--self-check` prints only deterministic lines (no timing), so CI can
 // diff the output across PMIOT_THREADS ∈ {1, 4, 16}. `--homes N` scales
 // the population (default 1000; the layer is sized for 1k–10k).
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <new>
 #include <string>
 
 #include "bench_json.h"
@@ -38,6 +42,22 @@ double ms_between(Clock::time_point t0, Clock::time_point t1) {
 }
 
 }  // namespace
+
+// Global allocation counter behind the zero-allocation self-check below.
+// Replacing `operator new` in this translation unit swaps the allocator for
+// the whole binary, so every heap allocation funnels through the counter.
+static std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 int main(int argc, char** argv) {
   bool self_check_only = false;
@@ -104,6 +124,30 @@ int main(int argc, char** argv) {
             << " lateral packets blocked, "
             << batched.quarantine_packets_dropped
             << " post-quarantine packets dropped\n";
+
+  // Zero-allocation contract for the shard phase (src/fleet): warm one
+  // capture + arena over a sample of homes, then replay the same homes and
+  // assert the global allocation counter did not move.
+  {
+    const std::size_t probe = std::min<std::size_t>(homes, 32);
+    fleet::HomeCapture capture;
+    fleet::HomeArena arena;
+    for (std::size_t h = 0; h < probe; ++h) {
+      fleet::make_home_into(fleet.options(), h, capture, arena);
+    }
+    const std::uint64_t before = g_heap_allocations.load();
+    for (std::size_t h = 0; h < probe; ++h) {
+      fleet::make_home_into(fleet.options(), h, capture, arena);
+    }
+    const std::uint64_t steady = g_heap_allocations.load() - before;
+    if (steady != 0) {
+      std::cerr << "MISMATCH: steady-state shard phase allocated " << steady
+                << " time(s) replaying " << probe << " warm homes\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "self-check OK: steady-state home capture allocated 0 times ("
+              << probe << " warm homes replayed)\n";
+  }
 
   // Snapshot goes to stderr + METRICS_*.json only, so stdout stays bitwise
   // identical with metrics on and off (CI diffs it at several PMIOT_THREADS

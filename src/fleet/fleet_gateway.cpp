@@ -66,14 +66,46 @@ net::GatewayOptions fleet_gateway_defaults() {
   return gateway;
 }
 
-HomeCapture make_home(const FleetOptions& options, std::size_t home) {
+namespace {
+
+/// Stable time-sort of packets[begin..end) without `std::stable_sort`'s
+/// hidden temporary buffer: sort (timestamp, suffix index) pairs — the
+/// index tiebreak IS the stability guarantee — then apply the permutation
+/// through the arena's packet buffer. Bitwise identical ordering to
+/// `net::sort_by_time` on the same range.
+void stable_sort_suffix_by_time(std::vector<net::Packet>& packets,
+                                std::size_t begin, HomeArena& arena) {
+  const std::size_t n = packets.size() - begin;
+  if (n < 2) return;
+  arena.sort_keys.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arena.sort_keys[i] = {packets[begin + i].timestamp_s,
+                          static_cast<std::uint32_t>(i)};
+  }
+  std::sort(arena.sort_keys.begin(), arena.sort_keys.begin() +
+                                         static_cast<std::ptrdiff_t>(n));
+  arena.sort_tmp.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arena.sort_tmp[i] = packets[begin + arena.sort_keys[i].second];
+  }
+  std::copy(arena.sort_tmp.begin(),
+            arena.sort_tmp.begin() + static_cast<std::ptrdiff_t>(n),
+            packets.begin() + static_cast<std::ptrdiff_t>(begin));
+}
+
+}  // namespace
+
+void make_home_into(const FleetOptions& options, std::size_t home,
+                    HomeCapture& out, HomeArena& arena) {
   PMIOT_CHECK(options.duration_s > 0.0, "duration must be positive");
   PMIOT_CHECK(options.min_devices >= 1 &&
                   options.max_devices >= options.min_devices,
               "device range must be non-empty");
 
   Rng rng(par::shard_seed(options.base_seed, home));
-  HomeCapture out;
+  out.devices.clear();
+  out.packets.clear();
+  out.infected = kNoInfectedDevice;
   const auto n = static_cast<std::size_t>(
       rng.uniform_int(options.min_devices, options.max_devices));
 
@@ -110,18 +142,35 @@ HomeCapture make_home(const FleetOptions& options, std::size_t home) {
       }
     }
 
-    auto packets =
-        net::simulate_device(lifecycle.profile, options.duration_s, rng);
+    // Simulate straight into the shared capture: append raw, stable-sort
+    // just this device's suffix (what `simulate_device` would have done to
+    // its own vector), then filter the suffix in place. Packet content and
+    // order match the returning overload exactly; only the allocations are
+    // gone.
+    const std::size_t before = out.packets.size();
+    net::simulate_device_append(lifecycle.profile, options.duration_s, rng,
+                                out.packets);
+    stable_sort_suffix_by_time(out.packets, before, arena);
     if (lifecycle.join_s > 0.0 || lifecycle.leave_s < options.duration_s) {
-      std::erase_if(packets, [&](const net::Packet& p) {
-        return p.timestamp_s < lifecycle.join_s ||
-               p.timestamp_s >= lifecycle.leave_s;
-      });
+      const auto first =
+          out.packets.begin() + static_cast<std::ptrdiff_t>(before);
+      out.packets.erase(
+          std::remove_if(first, out.packets.end(),
+                         [&](const net::Packet& p) {
+                           return p.timestamp_s < lifecycle.join_s ||
+                                  p.timestamp_s >= lifecycle.leave_s;
+                         }),
+          out.packets.end());
     }
-    out.packets.insert(out.packets.end(), packets.begin(), packets.end());
     out.devices.push_back(std::move(lifecycle));
   }
-  net::sort_by_time(out.packets);
+  stable_sort_suffix_by_time(out.packets, 0, arena);
+}
+
+HomeCapture make_home(const FleetOptions& options, std::size_t home) {
+  HomeCapture out;
+  HomeArena arena;
+  make_home_into(options, home, out, arena);
   return out;
 }
 
@@ -210,7 +259,13 @@ FleetReport FleetGateway::process_fleet() const {
   };
   std::vector<HomeScratch> scratch(n);
   par::parallel_for(0, n, [&](std::size_t h) {
-    const auto home = make_home(options_, h);
+    // Per-pool-thread arenas: capture buffers and sort scratch persist
+    // across the homes a thread processes, so steady-state generation
+    // reuses warm capacity instead of reallocating per home.
+    static thread_local HomeCapture home_buf;
+    static thread_local HomeArena sort_arena;
+    make_home_into(options_, h, home_buf, sort_arena);
+    const HomeCapture& home = home_buf;
     const auto gateway = home_gateway(classifier_, detector_, options_, home);
     auto& s = scratch[h];
     s.rows = gateway.extract_rows(home.packets, options_.duration_s);

@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ml/classifier.h"
@@ -86,6 +87,23 @@ struct HomeCapture {
 /// home). Both fleet passes and the serial oracle call this, so they police
 /// identical captures.
 HomeCapture make_home(const FleetOptions& options, std::size_t home);
+
+/// Reusable sorting scratch for `make_home_into`: the (timestamp, index)
+/// key array and permutation buffer that replace `std::stable_sort`'s
+/// internal temporary, so repeated home generation performs no hidden
+/// allocations once capacities are warm.
+struct HomeArena {
+  std::vector<std::pair<double, std::uint32_t>> sort_keys;
+  std::vector<net::Packet> sort_tmp;
+};
+
+/// Arena variant of `make_home`: regenerates home `home` into `out`,
+/// reusing `out`'s and `arena`'s capacity. Produces a capture bitwise
+/// identical to `make_home` (same RNG stream, same packet order). After a
+/// warm-up pass over the same homes, steady-state calls allocate nothing —
+/// the contract `bench/fleet_gateway --self-check` asserts.
+void make_home_into(const FleetOptions& options, std::size_t home,
+                    HomeCapture& out, HomeArena& arena);
 
 /// Per-home outcome inside a fleet report.
 struct HomeOutcome {

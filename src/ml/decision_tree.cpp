@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "simd/simd.h"
 
 namespace pmiot::ml {
 namespace {
@@ -55,6 +56,8 @@ struct TreeScratch {
   std::vector<double> val[2];
   std::vector<int> lab[2];
   std::vector<unsigned char> goes_left;  // by sample position
+  std::vector<unsigned char> neq;        // splittable-boundary mask, by rank
+  std::vector<unsigned char> side;       // <= threshold mask, by rank
   std::vector<std::size_t> counts, left_counts, right_counts;
   std::vector<std::size_t> split_left, split_right;
   std::vector<std::size_t> features;
@@ -115,6 +118,8 @@ class PresortedBuilder {
       s_.lab[b].resize(d_ * n_);
     }
     s_.goes_left.resize(n_);
+    s_.neq.resize(n_);
+    s_.side.resize(n_);
     s_.counts.assign(k_, 0);
     s_.left_counts.assign(k_, 0);
     s_.right_counts.assign(k_, 0);
@@ -289,15 +294,18 @@ class PresortedBuilder {
       long long sq_right = sq_total;
       double filter_rhs =
           static_cast<double>(m) * ((1.0 - best_score) + kFilterSlack);
+      // The equal-adjacent-values test is hoisted into one vector pass over
+      // the segment; the scan below reads the byte mask instead of two
+      // doubles per boundary. `x != x_next` is exactly the mask's
+      // definition, so the set of evaluated boundaries is unchanged.
+      simd::mask_adjacent_neq(vf + lo, m, s_.neq.data());
       for (std::size_t r = lo; r + 1 < hi; ++r) {
         const auto lbl = static_cast<std::size_t>(lf[r]);
         const auto cl = static_cast<long long>(++s_.left_counts[lbl]);
         const auto cr = static_cast<long long>(--s_.right_counts[lbl]);
         sq_left += 2 * cl - 1;
         sq_right -= 2 * cr + 1;
-        const double x = vf[r];
-        const double x_next = vf[r + 1];
-        if (x == x_next) continue;  // cannot split between equal values
+        if (s_.neq[r - lo] == 0) continue;  // cannot split between equal values
         const auto n_left = r + 1 - lo;
         const auto n_right = m - n_left;
         if (use_filter) {
@@ -314,7 +322,7 @@ class PresortedBuilder {
         if (score + 1e-12 < best_score) {
           best_score = score;
           best_feature = static_cast<int>(f);
-          best_threshold = 0.5 * (x + x_next);
+          best_threshold = 0.5 * (vf[r] + vf[r + 1]);
           filter_rhs =
               static_cast<double>(m) * ((1.0 - best_score) + kFilterSlack);
         }
@@ -339,8 +347,10 @@ class PresortedBuilder {
       const double* vf = val(cur, bf);
       const int* lf = lab(cur, bf);
       std::fill(s_.split_left.begin(), s_.split_left.end(), 0);
+      // Vectorized compare (same <= semantics, NaN false), scalar scatter.
+      simd::mask_leq(vf + lo, m, best_threshold, s_.side.data());
       for (std::size_t r = lo; r < hi; ++r) {
-        const bool left = vf[r] <= best_threshold;
+        const bool left = s_.side[r - lo] != 0;
         goes_left_set(pf[r], left);
         if (left) {
           ++s_.split_left[static_cast<std::size_t>(lf[r])];

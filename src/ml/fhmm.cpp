@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <numeric>
@@ -10,6 +11,7 @@
 #include "ml/kmeans.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "simd/simd.h"
 
 namespace pmiot::ml {
 namespace {
@@ -378,10 +380,11 @@ FhmmDecoding FactorialHmm::decode_factored(
 
   const double inv_2var = 0.5 / (noise_stddev_ * noise_stddev_);
   const double log_norm = -std::log(noise_stddev_ * std::sqrt(2.0 * M_PI));
-  auto emission_log = [&](std::size_t j, double obs) {
-    const double d = obs - joint_power_[j];
-    return log_norm - d * d * inv_2var;
-  };
+
+  // Minimum span width worth routing through the vector stage kernel: the
+  // innermost stage (stride 1) stays on the inline scalar loop either way.
+  constexpr std::size_t kVectorSpanMin = 4;
+  const bool vectorize = simd::active();
 
   std::vector<double> delta(k);
   std::vector<double> next_delta(k);
@@ -390,9 +393,11 @@ FhmmDecoding FactorialHmm::decode_factored(
   std::vector<double> beam_scratch;
   std::vector<std::int32_t> psi(t_max * k, 0);
 
-  for (std::size_t j = 0; j < k; ++j) {
-    delta[j] = log_init[j] + emission_log(j, aggregate[0]);
-  }
+  // delta[j] = log_init[j] + (log_norm - d*d*inv_2var), d = obs -
+  // joint_power_[j] — the SIMD batch is element-for-element the same
+  // arithmetic as the scalar reference (see simd.h contract).
+  simd::add_log_emission(log_init.data(), aggregate[0], joint_power_.data(),
+                         k, log_norm, inv_2var, delta.data());
   for (std::size_t t = 1; t < t_max; ++t) {
     prune_to_beam(delta, options.beam_width, beam_scratch);
     std::copy(delta.begin(), delta.end(), cur.begin());
@@ -403,21 +408,32 @@ FhmmDecoding FactorialHmm::decode_factored(
       const std::size_t s = stride[c];
       const std::size_t group = n * s;
       const double* lt = chain_lt.data() + lt_offset[c];
-      for (std::size_t base0 = 0; base0 < k; base0 += group) {
-        for (std::size_t lo = 0; lo < s; ++lo) {
-          const std::size_t base = base0 + lo;
-          for (std::size_t b = 0; b < n; ++b) {
-            double best = kNegInf;
-            std::size_t best_a = 0;
-            for (std::size_t a = 0; a < n; ++a) {
-              const double cand = cur[base + a * s] + lt[a * n + b];
-              if (cand > best) {
-                best = cand;
-                best_a = a;
+      if (vectorize && s >= kVectorSpanMin) {
+        // Vector path: lanes ride the contiguous span offset; compare
+        // chain (strict >, ascending a) identical to the loop below.
+        for (std::size_t base0 = 0; base0 < k; base0 += group) {
+          simd::fhmm_stage_group(cur.data() + base0,
+                                 cur_origin.data() + base0, lt, n, s,
+                                 nxt.data() + base0,
+                                 nxt_origin.data() + base0);
+        }
+      } else {
+        for (std::size_t base0 = 0; base0 < k; base0 += group) {
+          for (std::size_t lo = 0; lo < s; ++lo) {
+            const std::size_t base = base0 + lo;
+            for (std::size_t b = 0; b < n; ++b) {
+              double best = kNegInf;
+              std::size_t best_a = 0;
+              for (std::size_t a = 0; a < n; ++a) {
+                const double cand = cur[base + a * s] + lt[a * n + b];
+                if (cand > best) {
+                  best = cand;
+                  best_a = a;
+                }
               }
+              nxt[base + b * s] = best;
+              nxt_origin[base + b * s] = cur_origin[base + best_a * s];
             }
-            nxt[base + b * s] = best;
-            nxt_origin[base + b * s] = cur_origin[base + best_a * s];
           }
         }
       }
@@ -425,10 +441,10 @@ FhmmDecoding FactorialHmm::decode_factored(
       cur_origin.swap(nxt_origin);
       chain_eliminations_counter().add();
     }
-    for (std::size_t b = 0; b < k; ++b) {
-      next_delta[b] = cur[b] + emission_log(b, aggregate[t]);
-      psi[t * k + b] = cur_origin[b];
-    }
+    simd::add_log_emission(cur.data(), aggregate[t], joint_power_.data(), k,
+                           log_norm, inv_2var, next_delta.data());
+    std::memcpy(psi.data() + t * k, cur_origin.data(),
+                k * sizeof(std::int32_t));
     delta.swap(next_delta);
   }
   return backtrack(delta, psi, t_max, unpacked);

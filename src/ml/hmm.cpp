@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "ml/kmeans.h"
+#include "simd/simd.h"
 
 namespace pmiot::ml {
 namespace {
@@ -202,10 +203,16 @@ std::vector<int> GaussianHmm::viterbi(
     log_norm[s] = -std::log(params_.stddev[s]) - half_log_2pi;
     inv_2var[s] = 0.5 / (params_.stddev[s] * params_.stddev[s]);
   }
-  auto log_emission = [&](std::size_t s, double x) {
-    const double d = x - params_.mean[s];
-    return log_norm[s] - d * d * inv_2var[s];
-  };
+  // Batch the whole emission table up front: log_em[s * t_max + t] is
+  // log_norm[s] - d*d*inv_2var[s] with d = obs[t] - mean[s], computed by
+  // the (bit-identical, SIMD-dispatched) per-state scan so the t-loop below
+  // becomes pure table reads.
+  std::vector<double> log_em(n * t_max);
+  for (std::size_t s = 0; s < n; ++s) {
+    simd::log_emission_scan(observations.data(), t_max, params_.mean[s],
+                            log_norm[s], inv_2var[s],
+                            log_em.data() + s * t_max);
+  }
 
   std::vector<double> log_trans(n * n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -220,7 +227,7 @@ std::vector<int> GaussianHmm::viterbi(
 
   for (std::size_t s = 0; s < n; ++s) {
     delta[s] = std::log(std::max(params_.initial[s], kMinProb)) +
-               log_emission(s, observations[0]);
+               log_em[s * t_max];
   }
   for (std::size_t t = 1; t < t_max; ++t) {
     for (std::size_t s = 0; s < n; ++s) {
@@ -233,7 +240,7 @@ std::vector<int> GaussianHmm::viterbi(
           best_prev = static_cast<int>(r);
         }
       }
-      next_delta[s] = best + log_emission(s, observations[t]);
+      next_delta[s] = best + log_em[s * t_max + t];
       psi[t * n + s] = best_prev;
     }
     delta.swap(next_delta);

@@ -132,11 +132,10 @@ DeviceProfile make_device(DeviceType type, int instance, Rng& rng) {
   return p;
 }
 
-std::vector<Packet> simulate_device(const DeviceProfile& profile,
-                                    double duration_s, Rng& rng) {
+void simulate_device_append(const DeviceProfile& profile, double duration_s,
+                            Rng& rng, std::vector<Packet>& out) {
   PMIOT_CHECK(duration_s > 0.0, "duration must be positive");
   PMIOT_CHECK(is_lan(profile.ip), "device must have a LAN address");
-  std::vector<Packet> out;
   const std::uint16_t src_port =
       static_cast<std::uint16_t>(40000 + (profile.ip & 0xff));
 
@@ -256,7 +255,12 @@ std::vector<Packet> simulate_device(const DeviceProfile& profile,
                            Protocol::kTcp, kMtu});
     }
   }
+}
 
+std::vector<Packet> simulate_device(const DeviceProfile& profile,
+                                    double duration_s, Rng& rng) {
+  std::vector<Packet> out;
+  simulate_device_append(profile, duration_s, rng, out);
   sort_by_time(out);
   return out;
 }

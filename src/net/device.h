@@ -79,6 +79,14 @@ DeviceProfile make_device(DeviceType type, int instance, Rng& rng);
 std::vector<Packet> simulate_device(const DeviceProfile& profile,
                                     double duration_s, Rng& rng);
 
+/// Allocation-reusing variant: appends the device's packets to `out` in
+/// generation order (NOT time-sorted; `out` is not cleared). Draws exactly
+/// the same RNG stream as `simulate_device`, which is this append plus a
+/// stable time-sort of the appended suffix — callers that batch several
+/// devices into one arena sort the suffixes themselves.
+void simulate_device_append(const DeviceProfile& profile, double duration_s,
+                            Rng& rng, std::vector<Packet>& out);
+
 /// A whole home: one or more instances of each type, merged & time-sorted.
 struct HomeNetwork {
   std::vector<DeviceProfile> devices;

@@ -63,6 +63,41 @@ TEST(Fleet, MakeHomeIsDeterministicPerHomeIndex) {
   EXPECT_TRUE(differs);
 }
 
+TEST(Fleet, MakeHomeIntoReusedBuffersMatchFreshMakeHome) {
+  // The allocation-free shard path: one capture + arena reused across homes
+  // (and revisited homes) must produce exactly what the returning overload
+  // builds from scratch.
+  FleetOptions options;
+  options.duration_s = 600.0;
+  options.join_fraction = 0.3;
+  options.leave_fraction = 0.3;
+  HomeCapture reused;
+  HomeArena arena;
+  for (const std::size_t home : {0u, 7u, 3u, 7u, 0u}) {  // revisits included
+    const auto fresh = make_home(options, home);
+    make_home_into(options, home, reused, arena);
+    EXPECT_EQ(reused.infected, fresh.infected) << "home " << home;
+    ASSERT_EQ(reused.devices.size(), fresh.devices.size()) << "home " << home;
+    for (std::size_t d = 0; d < fresh.devices.size(); ++d) {
+      EXPECT_EQ(reused.devices[d].profile.name, fresh.devices[d].profile.name);
+      EXPECT_EQ(reused.devices[d].profile.infection,
+                fresh.devices[d].profile.infection);
+      EXPECT_EQ(reused.devices[d].join_s, fresh.devices[d].join_s);
+      EXPECT_EQ(reused.devices[d].leave_s, fresh.devices[d].leave_s);
+    }
+    ASSERT_EQ(reused.packets.size(), fresh.packets.size()) << "home " << home;
+    for (std::size_t i = 0; i < fresh.packets.size(); ++i) {
+      const auto& p = reused.packets[i];
+      const auto& q = fresh.packets[i];
+      ASSERT_TRUE(p.timestamp_s == q.timestamp_s && p.src_ip == q.src_ip &&
+                  p.dst_ip == q.dst_ip && p.src_port == q.src_port &&
+                  p.dst_port == q.dst_port && p.protocol == q.protocol &&
+                  p.size_bytes == q.size_bytes)
+          << "home " << home << " packet " << i;
+    }
+  }
+}
+
 TEST(Fleet, MakeHomeRespectsRosterAndLifecycles) {
   FleetOptions options;
   options.duration_s = 600.0;

@@ -2,6 +2,9 @@
 // statistics, filters, edge detection, and ASCII rendering.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <cstdio>
 #include <limits>
 
 #include "common/error.h"
@@ -339,6 +342,170 @@ TEST(TraceIo, RejectsCorruptedInput) {
         "2017-06-01T00:00,banana\n");
     EXPECT_THROW(read_csv(is), pmiot::InvalidArgument);
   }
+}
+
+// --- binary columnar container ---
+
+TEST(TraceIo, BinaryRoundTripsBitExact) {
+  Rng rng(11);
+  TimeSeries s(TraceMeta{CivilDate{2017, 6, 1}, 30, 300},
+               std::vector<double>{});
+  for (int i = 0; i < 257; ++i) s.push_back(rng.uniform(-5.0, 8.0));
+  std::ostringstream os(std::ios::binary);
+  write_binary(os, s);
+  std::istringstream is(os.str(), std::ios::binary);
+  const auto loaded = read_binary(is);
+  EXPECT_EQ(loaded.meta(), s.meta());
+  ASSERT_EQ(loaded.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded[i]),
+              std::bit_cast<std::uint64_t>(s[i]));
+  }
+}
+
+TEST(TraceIo, BinaryEmptySeries) {
+  const TimeSeries s(TraceMeta{CivilDate{2020, 2, 29}, 15, 30},
+                     std::vector<double>{});
+  std::ostringstream os(std::ios::binary);
+  write_binary(os, s);
+  std::istringstream is(os.str(), std::ios::binary);
+  const auto loaded = read_binary(is);
+  EXPECT_EQ(loaded.meta(), s.meta());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TraceIo, BinarySingleSample) {
+  const TimeSeries s(TraceMeta{CivilDate{2017, 6, 1}, 0, 60}, {42.5});
+  std::ostringstream os(std::ios::binary);
+  write_binary(os, s);
+  std::istringstream is(os.str(), std::ios::binary);
+  const auto loaded = read_binary(is);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0], 42.5);
+}
+
+TEST(TraceIo, BinaryCarriesNonFiniteValues) {
+  // The CSV format cannot represent these; the binary container stores the
+  // raw bit patterns, so NaN payloads, infinities, and -0.0 all survive.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const TimeSeries s(TraceMeta{CivilDate{2017, 6, 1}, 0, 60},
+                     {nan, inf, -inf, -0.0, 1.0});
+  std::ostringstream os(std::ios::binary);
+  write_binary(os, s);
+  std::istringstream is(os.str(), std::ios::binary);
+  const auto loaded = read_binary(is);
+  ASSERT_EQ(loaded.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded[i]),
+              std::bit_cast<std::uint64_t>(s[i]))
+        << "sample " << i;
+  }
+}
+
+TEST(TraceIo, BinaryRejectsCorruption) {
+  const TimeSeries s(TraceMeta{CivilDate{2017, 6, 1}, 0, 60}, {1.0, 2.0});
+  std::ostringstream os(std::ios::binary);
+  write_binary(os, s);
+  const std::string good = os.str();
+  {
+    std::istringstream is(std::string("XXXXXXXX") + good.substr(8),
+                          std::ios::binary);
+    EXPECT_THROW(read_binary(is), pmiot::InvalidArgument);  // wrong magic
+  }
+  {
+    std::string bumped = good;
+    bumped[8] = 9;  // unsupported version
+    std::istringstream is(bumped, std::ios::binary);
+    EXPECT_THROW(read_binary(is), pmiot::InvalidArgument);
+  }
+  {
+    std::istringstream is(good.substr(0, 10), std::ios::binary);
+    EXPECT_THROW(read_binary(is), pmiot::InvalidArgument);  // cut header
+  }
+  {
+    std::istringstream is(good.substr(0, 80), std::ios::binary);
+    EXPECT_THROW(read_binary(is), pmiot::InvalidArgument);  // cut directory
+  }
+  {
+    std::istringstream is(good.substr(0, good.size() - 8), std::ios::binary);
+    EXPECT_THROW(read_binary(is), pmiot::InvalidArgument);  // cut column
+  }
+  {
+    std::istringstream is(std::string(), std::ios::binary);
+    EXPECT_THROW(read_binary(is), pmiot::InvalidArgument);  // empty file
+  }
+}
+
+TEST(TraceIo, CsvBinaryCsvRoundTripIsExact) {
+  // CSV -> binary -> CSV must reproduce the CSV serialization byte for
+  // byte: the binary side stores the parsed doubles bit-exactly. The CRLF
+  // variant exercises the same path through the Windows-style reader.
+  const std::string base =
+      "# pmiot-trace v1\n"
+      "# start=2017-06-01 start_minute=30 interval_seconds=300\n"
+      "2017-06-01T00:30,0.412345678\n"
+      "2017-06-01T00:35,7.125\n"
+      "2017-06-01T00:40,-3.000000001\n";
+  std::string crlf;
+  for (char c : base) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  for (const std::string& text : {base, crlf}) {
+    std::istringstream csv_in(text);
+    const auto from_csv = read_csv(csv_in);
+    std::ostringstream bin(std::ios::binary);
+    write_binary(bin, from_csv);
+    std::istringstream bin_in(bin.str(), std::ios::binary);
+    const auto from_binary = read_binary(bin_in);
+    EXPECT_EQ(from_binary, from_csv);
+    std::ostringstream csv_a, csv_b;
+    write_csv(csv_a, from_csv, 9);
+    write_csv(csv_b, from_binary, 9);
+    EXPECT_EQ(csv_a.str(), csv_b.str());
+  }
+}
+
+TEST(TraceIo, TraceViewMapsFileZeroCopy) {
+  Rng rng(13);
+  TimeSeries s(TraceMeta{CivilDate{2017, 6, 1}, 0, 60},
+               std::vector<double>{});
+  for (int i = 0; i < 1000; ++i) s.push_back(rng.uniform(0.0, 3.0));
+  const std::string path = testing::TempDir() + "pmiot_trace_view.bin";
+  save_binary(path, s);
+
+  {
+    TraceView view(path);
+    EXPECT_EQ(view.meta(), s.meta());
+    ASSERT_EQ(view.size(), s.size());
+    const auto vals = view.values();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(vals[i]),
+                std::bit_cast<std::uint64_t>(s[i]));
+    }
+    EXPECT_EQ(view.materialize(), s);
+
+    // Moving the view keeps the mapping alive and empties the source.
+    TraceView moved(std::move(view));
+    EXPECT_EQ(moved.size(), s.size());
+    EXPECT_EQ(moved.materialize(), s);
+  }
+  EXPECT_EQ(load_binary(path), s);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadTraceSniffsFormat) {
+  const TimeSeries s(TraceMeta{CivilDate{2017, 6, 1}, 0, 60},
+                     {1.0, 2.5, 3.25});
+  const std::string bin_path = testing::TempDir() + "pmiot_sniff.bin";
+  const std::string csv_path = testing::TempDir() + "pmiot_sniff.csv";
+  save_binary(bin_path, s);
+  save_csv(csv_path, s);
+  EXPECT_EQ(load_trace(bin_path), s);
+  EXPECT_EQ(load_trace(csv_path), s);
+  std::remove(bin_path.c_str());
+  std::remove(csv_path.c_str());
 }
 
 class ResampleFactors : public ::testing::TestWithParam<int> {};
