@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -102,7 +103,15 @@ class BenchJson {
     return *this;
   }
 
-  std::string path() const { return "BENCH_" + name_ + ".json"; }
+  /// Output location: `$PMIOT_BENCH_DIR/BENCH_<name>.json` when the env
+  /// override is set (CI points it at the artifact directory), otherwise
+  /// the current working directory.
+  std::string path() const {
+    std::string file = "BENCH_" + name_ + ".json";
+    const char* dir = std::getenv("PMIOT_BENCH_DIR");
+    if (dir != nullptr && *dir != '\0') return std::string(dir) + "/" + file;
+    return file;
+  }
 
   /// Writes the JSON file; reports (but does not fail on) IO errors, so a
   /// read-only working directory never breaks a bench run.

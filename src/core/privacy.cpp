@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "defense/battery.h"
@@ -23,10 +24,34 @@ void check_intensity(double intensity) {
               "intensity must be in [0,1]");
 }
 
+/// Fitted state of ApplianceAttack: the per-home PowerPlay tracker plus the
+/// ground-truth indices of the tracked appliances actually present.
+struct ApplianceAttackModel final : AttackModel {
+  std::unique_ptr<nilm::PowerPlay> tracker;  ///< null: nothing trackable
+  std::vector<std::size_t> truth_idx;
+};
+
+/// Fitted state of SupervisedOccupancyAttack: one of the two supervised
+/// detectors, trained on the home's raw labelled history.
+struct SupervisedAttackModel final : AttackModel {
+  std::unique_ptr<niom::SupervisedNiom> knn;
+  std::unique_ptr<niom::ForestNiom> forest;
+};
+
 }  // namespace
 
-double OccupancyAttack::leakage(const ts::TimeSeries& released,
-                                const synth::HomeTrace& truth) const {
+std::unique_ptr<AttackModel> Attack::fit(const synth::HomeTrace&) const {
+  return nullptr;
+}
+
+double Attack::leakage(const ts::TimeSeries& released,
+                       const synth::HomeTrace& truth) const {
+  return leakage_with(fit(truth).get(), released, truth);
+}
+
+double OccupancyAttack::leakage_with(const AttackModel*,
+                                     const ts::TimeSeries& released,
+                                     const synth::HomeTrace& truth) const {
   niom::ThresholdNiom detector;
   const auto report = niom::evaluate(detector, released, truth.occupancy,
                                      niom::waking_hours());
@@ -38,12 +63,12 @@ ApplianceAttack::ApplianceAttack(std::vector<std::string> tracked)
   PMIOT_CHECK(!tracked_.empty(), "need at least one tracked appliance");
 }
 
-double ApplianceAttack::leakage(const ts::TimeSeries& released,
-                                const synth::HomeTrace& truth) const {
+std::unique_ptr<AttackModel> ApplianceAttack::fit(
+    const synth::HomeTrace& truth) const {
   // Build PowerPlay models for the tracked appliances present in the home.
   // The catalog is the a priori model library PowerPlay assumes.
   std::vector<nilm::LoadModel> models;
-  std::vector<std::size_t> truth_idx;
+  auto fitted = std::make_unique<ApplianceAttackModel>();
   const std::vector<synth::ApplianceSpec> catalog = {
       synth::toaster(), synth::fridge(),  synth::freezer(),
       synth::dryer(),   synth::hrv(),     synth::dishwasher(),
@@ -53,7 +78,7 @@ double ApplianceAttack::leakage(const ts::TimeSeries& released,
     for (std::size_t i = 0; i < truth.appliance_names.size(); ++i) {
       if (truth.appliance_names[i] == name) {
         in_home = true;
-        truth_idx.push_back(i);
+        fitted->truth_idx.push_back(i);
         break;
       }
     }
@@ -65,14 +90,28 @@ double ApplianceAttack::leakage(const ts::TimeSeries& released,
       }
     }
   }
-  if (models.empty()) return 0.0;
+  if (!models.empty()) {
+    fitted->tracker = std::make_unique<nilm::PowerPlay>(std::move(models));
+  }
+  return fitted;
+}
 
-  nilm::PowerPlay tracker(models);
-  const auto tracked = tracker.track(released);
+double ApplianceAttack::leakage_with(const AttackModel* model,
+                                     const ts::TimeSeries& released,
+                                     const synth::HomeTrace& truth) const {
+  std::unique_ptr<AttackModel> local;
+  if (model == nullptr) {
+    local = fit(truth);
+    model = local.get();
+  }
+  const auto& fitted = static_cast<const ApplianceAttackModel&>(*model);
+  if (fitted.tracker == nullptr) return 0.0;
+
+  const auto tracked = fitted.tracker->track(released);
   double total = 0.0;
   std::size_t scored = 0;
   for (std::size_t i = 0; i < tracked.size(); ++i) {
-    const auto& actual = truth.per_appliance[truth_idx[i]];
+    const auto& actual = truth.per_appliance[fitted.truth_idx[i]];
     if (actual.energy_kwh() <= 0.0) continue;  // never ran this window
     const double err =
         nilm::disaggregation_error(tracked[i].power, actual.values());
@@ -80,6 +119,51 @@ double ApplianceAttack::leakage(const ts::TimeSeries& released,
     ++scored;
   }
   return scored == 0 ? 0.0 : total / static_cast<double>(scored);
+}
+
+SupervisedOccupancyAttack::SupervisedOccupancyAttack(Backend backend)
+    : backend_(backend) {}
+
+std::string SupervisedOccupancyAttack::name() const {
+  return backend_ == Backend::kKnn ? "occupancy(kNN)" : "occupancy(forest)";
+}
+
+std::unique_ptr<AttackModel> SupervisedOccupancyAttack::fit(
+    const synth::HomeTrace& truth) const {
+  auto fitted = std::make_unique<SupervisedAttackModel>();
+  if (backend_ == Backend::kKnn) {
+    niom::SupervisedNiom::Options options;
+    options.allow_single_class = true;  // population homes may never be vacant
+    fitted->knn = std::make_unique<niom::SupervisedNiom>(options);
+    fitted->knn->fit(truth.aggregate, truth.occupancy);
+  } else {
+    // A deeper ensemble than the detector default: this attacker models a
+    // patient adversary with labelled history, and the one-time fit is
+    // exactly what population sweeps cache per home.
+    niom::ForestNiom::Options options;
+    options.num_trees = 100;
+    fitted->forest = std::make_unique<niom::ForestNiom>(options);
+    fitted->forest->fit(truth.aggregate, truth.occupancy);
+  }
+  return fitted;
+}
+
+double SupervisedOccupancyAttack::leakage_with(
+    const AttackModel* model, const ts::TimeSeries& released,
+    const synth::HomeTrace& truth) const {
+  std::unique_ptr<AttackModel> local;
+  if (model == nullptr) {
+    local = fit(truth);
+    model = local.get();
+  }
+  const auto& fitted = static_cast<const SupervisedAttackModel&>(*model);
+  const niom::OccupancyDetector& detector =
+      backend_ == Backend::kKnn
+          ? static_cast<const niom::OccupancyDetector&>(*fitted.knn)
+          : static_cast<const niom::OccupancyDetector&>(*fitted.forest);
+  const auto report = niom::evaluate(detector, released, truth.occupancy,
+                                     niom::waking_hours());
+  return std::max(0.0, report.mcc);
 }
 
 DefenseOutcome SmoothingDefense::apply(const synth::HomeTrace& home,
@@ -179,39 +263,108 @@ PrivacyEvaluator PrivacyEvaluator::standard() {
   return PrivacyEvaluator(std::move(attacks));
 }
 
+std::vector<std::unique_ptr<AttackModel>> PrivacyEvaluator::fit_models(
+    const synth::HomeTrace& home) const {
+  std::vector<std::unique_ptr<AttackModel>> models;
+  models.reserve(attacks_.size());
+  for (const auto& attack : attacks_) models.push_back(attack->fit(home));
+  return models;
+}
+
+UtilityBaseline PrivacyEvaluator::baseline(const Defense& defense,
+                                           const synth::HomeTrace& home,
+                                           Rng& rng) const {
+  // Utility metrics are judged against the defense's own intensity-0 output
+  // (for physical defenses like CHPr, even "off" replaces the home's water
+  // heater with the conventional thermostat, which must not count as error).
+  UtilityBaseline base;
+  base.outcome = defense.apply(home, 0.0, rng);
+  base.hourly = base.outcome.released.resample(3600);
+  base.mean_level = stats::mean(base.hourly.values());
+  return base;
+}
+
+UtilityScores PrivacyEvaluator::score_into(
+    const UtilityBaseline& base, const ts::TimeSeries& released,
+    const synth::HomeTrace& home,
+    std::span<const std::unique_ptr<AttackModel>> models,
+    std::span<double> leakage) const {
+  PMIOT_CHECK(models.empty() || models.size() == attacks_.size(),
+              "models must be empty or parallel to the attack suite");
+  PMIOT_CHECK(leakage.size() >= attacks_.size(),
+              "leakage span smaller than the attack suite");
+  UtilityScores scores;
+  scores.billing_error =
+      defense::billing_error(base.outcome.released, released);
+  // Analytics the utility legitimately wants: the hourly load profile.
+  const auto released_hourly = released.resample(3600);
+  scores.analytics_error =
+      base.mean_level > 0.0
+          ? stats::rmse(base.hourly.values(), released_hourly.values()) /
+                base.mean_level
+          : 0.0;
+  for (std::size_t k = 0; k < attacks_.size(); ++k) {
+    const AttackModel* model = models.empty() ? nullptr : models[k].get();
+    leakage[k] = attacks_[k]->leakage_with(model, released, home);
+  }
+  return scores;
+}
+
+FrontierPoint PrivacyEvaluator::point_from_stages(
+    const UtilityBaseline& base, const Defense& defense,
+    const synth::HomeTrace& home, double intensity, Rng& point_rng,
+    std::span<const std::unique_ptr<AttackModel>> models) const {
+  const auto outcome = defense.apply(home, intensity, point_rng);
+  FrontierPoint point;
+  point.intensity = intensity;
+  point.extra_energy_kwh = outcome.extra_energy_kwh;
+  std::vector<double> leakage(attacks_.size(), 0.0);
+  const UtilityScores scores =
+      score_into(base, outcome.released, home, models, leakage);
+  point.billing_error = scores.billing_error;
+  point.analytics_error = scores.analytics_error;
+  for (std::size_t k = 0; k < attacks_.size(); ++k) {
+    point.leakage[attacks_[k]->name()] = leakage[k];
+  }
+  return point;
+}
+
 std::vector<FrontierPoint> PrivacyEvaluator::sweep(
     const Defense& defense, const synth::HomeTrace& home,
     std::span<const double> intensities, Rng& rng) const {
   PMIOT_CHECK(!intensities.empty(), "need at least one intensity");
   std::vector<FrontierPoint> frontier;
-  // Utility metrics are judged against the defense's own intensity-0 output
-  // (for physical defenses like CHPr, even "off" replaces the home's water
-  // heater with the conventional thermostat, which must not count as error).
   Rng baseline_rng = rng.fork();
-  const auto baseline = defense.apply(home, 0.0, baseline_rng);
+  const UtilityBaseline base = baseline(defense, home, baseline_rng);
+  const auto models = fit_models(home);
   for (double intensity : intensities) {
     Rng point_rng = rng.fork();
-    const auto outcome = defense.apply(home, intensity, point_rng);
-    FrontierPoint point;
-    point.intensity = intensity;
-    point.extra_energy_kwh = outcome.extra_energy_kwh;
-    point.billing_error =
-        defense::billing_error(baseline.released, outcome.released);
-    // Analytics the utility legitimately wants: the hourly load profile.
-    const auto true_hourly = baseline.released.resample(3600);
-    const auto released_hourly = outcome.released.resample(3600);
-    const double mean_level = stats::mean(true_hourly.values());
-    point.analytics_error =
-        mean_level > 0.0
-            ? stats::rmse(true_hourly.values(), released_hourly.values()) /
-                  mean_level
-            : 0.0;
-    for (const auto& attack : attacks_) {
-      point.leakage[attack->name()] =
-          attack->leakage(outcome.released, home);
-    }
-    frontier.push_back(std::move(point));
+    frontier.push_back(
+        point_from_stages(base, defense, home, intensity, point_rng, models));
   }
+  return frontier;
+}
+
+std::vector<FrontierPoint> PrivacyEvaluator::sweep_parallel(
+    const Defense& defense, const synth::HomeTrace& home,
+    std::span<const double> intensities, Rng& rng) const {
+  PMIOT_CHECK(!intensities.empty(), "need at least one intensity");
+  Rng baseline_rng = rng.fork();
+  const UtilityBaseline base = baseline(defense, home, baseline_rng);
+  const auto models = fit_models(home);
+  // Fork the per-point streams serially in sweep order so the draws match
+  // `sweep` exactly; each shard then owns an independent, pre-seeded Rng.
+  std::vector<Rng> point_rngs;
+  point_rngs.reserve(intensities.size());
+  for (std::size_t i = 0; i < intensities.size(); ++i) {
+    point_rngs.push_back(rng.fork());
+  }
+  std::vector<FrontierPoint> frontier(intensities.size());
+  par::parallel_for(0, intensities.size(), [&](std::size_t i) {
+    Rng point_rng = point_rngs[i];  // pre-seeded per-shard stream
+    frontier[i] = point_from_stages(base, defense, home, intensities[i],
+                                    point_rng, models);
+  });
   return frontier;
 }
 

@@ -113,10 +113,44 @@ std::vector<int> ThresholdNiom::detect(const ts::TimeSeries& power) const {
 
 namespace {
 
-/// Window feature vector shared by the supervised detector: mean, stddev,
+/// Window feature vector shared by the supervised detectors: mean, stddev,
 /// range, and edge-ish burst count proxy (max-min over sub-windows).
 std::vector<double> window_feature_row(const ts::WindowStat& win) {
   return {win.mean, std::sqrt(win.variance), win.range};
+}
+
+/// Builds the waking-hours training set shared by the supervised detectors:
+/// one feature row per waking window, majority occupancy as the label.
+/// Training restricts to waking hours because overnight the home is occupied
+/// but electrically idle, which would teach the classifier that quiet means
+/// occupied and poison its daytime predictions. Returns the single observed
+/// label when the trace carries only one class, -1 otherwise.
+int build_waking_dataset(const ts::TimeSeries& power,
+                         const std::vector<int>& occupancy_minutes,
+                         std::size_t w, ml::Dataset& data) {
+  const auto windows = ts::window_stats(power.values(), w, w);
+  PMIOT_CHECK(windows.size() >= 8, "training trace too short");
+  const int factor = power.meta().interval_seconds / 60;
+  auto aligned = factor == 1
+                     ? occupancy_minutes
+                     : synth::downsample_occupancy(occupancy_minutes, factor);
+  PMIOT_CHECK(aligned.size() >= power.size(),
+              "occupancy does not cover the training trace");
+
+  bool saw_occupied = false, saw_vacant = false;
+  for (const auto& win : windows) {
+    const int mod = power.minute_of_day_at(win.first);
+    if (mod < 8 * 60 || mod >= 23 * 60) continue;
+    std::size_t ones = 0;
+    for (std::size_t j = 0; j < w; ++j) ones += aligned[win.first + j] != 0;
+    const int label = 2 * ones >= w ? 1 : 0;
+    saw_occupied |= label == 1;
+    saw_vacant |= label == 0;
+    data.append(window_feature_row(win), label);
+  }
+  PMIOT_CHECK(saw_occupied || saw_vacant, "no waking-hours training windows");
+  if (saw_occupied && saw_vacant) return -1;
+  return saw_occupied ? 1 : 0;
 }
 
 }  // namespace
@@ -132,32 +166,16 @@ bool SupervisedNiom::fitted() const noexcept { return fitted_; }
 void SupervisedNiom::fit(const ts::TimeSeries& power,
                          const std::vector<int>& occupancy_minutes) {
   const std::size_t w = window_samples(power, options_.window_minutes);
-  const auto windows = ts::window_stats(power.values(), w, w);
-  PMIOT_CHECK(windows.size() >= 8, "training trace too short");
-  const int factor = power.meta().interval_seconds / 60;
-  auto aligned = factor == 1
-                     ? occupancy_minutes
-                     : synth::downsample_occupancy(occupancy_minutes, factor);
-  PMIOT_CHECK(aligned.size() >= power.size(),
-              "occupancy does not cover the training trace");
-
-  // Train on waking-hours windows only: overnight the home is occupied but
-  // electrically idle, which would teach the classifier that quiet means
-  // occupied and poison its daytime predictions.
   ml::Dataset data;
-  bool saw_occupied = false, saw_vacant = false;
-  for (const auto& win : windows) {
-    const int mod = power.minute_of_day_at(win.first);
-    if (mod < 8 * 60 || mod >= 23 * 60) continue;
-    std::size_t ones = 0;
-    for (std::size_t j = 0; j < w; ++j) ones += aligned[win.first + j] != 0;
-    const int label = 2 * ones >= w ? 1 : 0;
-    saw_occupied |= label == 1;
-    saw_vacant |= label == 0;
-    data.append(window_feature_row(win), label);
+  const int single = build_waking_dataset(power, occupancy_minutes, w, data);
+  if (single >= 0) {
+    PMIOT_CHECK(options_.allow_single_class,
+                "training trace must contain both occupied and vacant windows");
+    constant_label_ = single;
+    fitted_ = true;
+    return;
   }
-  PMIOT_CHECK(saw_occupied && saw_vacant,
-              "training trace must contain both occupied and vacant windows");
+  constant_label_ = -1;
   scaler_.fit(data);
   scaler_.transform_in_place(data);
   knn_.fit(data);
@@ -166,6 +184,9 @@ void SupervisedNiom::fit(const ts::TimeSeries& power,
 
 std::vector<int> SupervisedNiom::detect(const ts::TimeSeries& power) const {
   PMIOT_CHECK(fitted_, "call fit() before detect()");
+  if (constant_label_ >= 0) {
+    return std::vector<int>(power.size(), constant_label_);
+  }
   const std::size_t w = window_samples(power, options_.window_minutes);
   const auto windows = ts::window_stats(power.values(), w, w);
   // Batch all window features into one dataset so the kNN blocked batch
@@ -175,6 +196,47 @@ std::vector<int> SupervisedNiom::detect(const ts::TimeSeries& power) const {
     queries.append(scaler_.transform(window_feature_row(win)), 0);
   }
   const auto labels = knn_.predict_all(queries);
+  return expand(labels, w, power.size());
+}
+
+ForestNiom::ForestNiom(Options options)
+    : options_(options),
+      forest_(ml::ForestOptions{.num_trees = options.num_trees},
+              options.seed) {
+  PMIOT_CHECK(options.window_minutes >= 1, "window must be positive");
+  PMIOT_CHECK(options.num_trees >= 1, "need at least one tree");
+}
+
+void ForestNiom::fit(const ts::TimeSeries& power,
+                     const std::vector<int>& occupancy_minutes) {
+  const std::size_t w = window_samples(power, options_.window_minutes);
+  ml::Dataset data;
+  const int single = build_waking_dataset(power, occupancy_minutes, w, data);
+  if (single >= 0) {
+    constant_label_ = single;
+    fitted_ = true;
+    return;
+  }
+  constant_label_ = -1;
+  // Trees split on raw thresholds, so no scaler is needed (or wanted: a
+  // scaler fitted on the defended trace would leak the defense into the
+  // attacker's model in a way the threat model does not grant).
+  forest_.fit(data);
+  fitted_ = true;
+}
+
+std::vector<int> ForestNiom::detect(const ts::TimeSeries& power) const {
+  PMIOT_CHECK(fitted_, "call fit() before detect()");
+  if (constant_label_ >= 0) {
+    return std::vector<int>(power.size(), constant_label_);
+  }
+  const std::size_t w = window_samples(power, options_.window_minutes);
+  const auto windows = ts::window_stats(power.values(), w, w);
+  ml::Dataset queries;
+  for (const auto& win : windows) {
+    queries.append(window_feature_row(win), 0);
+  }
+  const auto labels = forest_.predict_all(queries);
   return expand(labels, w, power.size());
 }
 

@@ -17,6 +17,7 @@
 
 #include "ml/dataset.h"
 #include "ml/knn.h"
+#include "ml/random_forest.h"
 #include "timeseries/timeseries.h"
 
 namespace pmiot::niom {
@@ -69,6 +70,13 @@ class SupervisedNiom final : public OccupancyDetector {
   struct Options {
     int window_minutes = 15;
     int k = 7;  ///< neighbours
+    /// When the training trace contains only one occupancy class in its
+    /// waking-hours windows, fit() normally throws (there is nothing to
+    /// learn). Population-scale sweeps set this to degrade to a constant
+    /// detector instead: detect() then always answers the single observed
+    /// class, which scores zero MCC — the right leakage for an attacker
+    /// whose history carries no signal.
+    bool allow_single_class = false;
   };
 
   SupervisedNiom() : SupervisedNiom(Options{}) {}
@@ -89,6 +97,40 @@ class SupervisedNiom final : public OccupancyDetector {
   ml::KnnClassifier knn_;
   ml::StandardScaler scaler_;
   bool fitted_ = false;
+  int constant_label_ = -1;  ///< >= 0: single-class degradation (see Options)
+};
+
+/// Random-forest variant of the supervised attacker (same threat model and
+/// window features as SupervisedNiom, bagged trees instead of k-NN). The
+/// fit is the expensive stage — campaign sweeps fit once per home and reuse
+/// the fitted forest across every released trace derived from that home.
+/// Single-class training traces always degrade to a constant detector.
+class ForestNiom final : public OccupancyDetector {
+ public:
+  struct Options {
+    int window_minutes = 15;
+    int num_trees = 25;
+    std::uint64_t seed = 11;  ///< forest bootstrap/feature-subset seed
+  };
+
+  ForestNiom() : ForestNiom(Options{}) {}
+  explicit ForestNiom(Options options);
+
+  /// Trains on a labelled trace (per-minute ground-truth occupancy).
+  /// Must be called before detect().
+  void fit(const ts::TimeSeries& power,
+           const std::vector<int>& occupancy_minutes);
+
+  std::vector<int> detect(const ts::TimeSeries& power) const override;
+  std::string name() const override { return "niom-supervised-forest"; }
+
+  bool fitted() const noexcept { return fitted_; }
+
+ private:
+  Options options_;
+  ml::RandomForest forest_;
+  bool fitted_ = false;
+  int constant_label_ = -1;
 };
 
 /// Kleiminger-style unsupervised HMM detector.

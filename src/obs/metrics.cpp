@@ -477,7 +477,13 @@ void emit_if_enabled(const std::string& name) {
   const Snapshot snap = MetricsRegistry::instance().snapshot(
       {.include_nondeterministic = true});
   std::cerr << "-- metrics (" << name << ") --\n" << to_text(snap);
-  const std::string path = "METRICS_" + name + ".json";
+  // PMIOT_BENCH_DIR redirects machine-readable artifacts (here and in
+  // bench/bench_json.h) so CI upload steps do not depend on the build
+  // directory layout. Default: current working directory.
+  std::string path = "METRICS_" + name + ".json";
+  if (const char* dir = std::getenv("PMIOT_BENCH_DIR"); dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
   std::ofstream os(path);
   if (!os) {
     std::cerr << "warning: could not write " << path << '\n';

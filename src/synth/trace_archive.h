@@ -1,0 +1,73 @@
+// Home-trace persistence on the pmiotbt binary columnar container.
+//
+// A `HomeTrace` (aggregate + occupancy labels + per-appliance submeters) is
+// saved as a directory of single-column pmiotbt files plus a small text
+// manifest, and loaded back through `ts::TraceView` — the ingest path is a
+// header parse and one bulk copy per column, never a per-sample parse, and
+// `HomeTraceView` serves the columns zero-copy straight from the mapping
+// for consumers that do not need an owning `HomeTrace` at all. Round trips
+// are bit-exact (the container stores raw IEEE-754 doubles).
+//
+// Layout of an archive directory:
+//
+//   manifest.txt          # pmiot-home v1: name + appliance roster
+//   aggregate.pmiotbt     metered total (kW)
+//   occupancy.pmiotbt     per-minute 0/1 labels, stored as doubles
+//   appliance_<i>.pmiotbt submetered ground truth, i in manifest order
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "synth/home.h"
+#include "timeseries/trace_io.h"
+
+namespace pmiot::synth {
+
+/// Writes `trace` into directory `dir` (created if needed, files
+/// overwritten). Throws InvalidArgument when the trace is malformed (empty
+/// aggregate, appliance/name count mismatch) or the files cannot be written.
+void save_home_trace(const std::string& dir, const HomeTrace& trace);
+
+/// Zero-copy view over a saved home trace: every column is a
+/// `ts::TraceView` (mmap'd on POSIX), so spans obtained here alias the
+/// file mappings and must not outlive the view. Movable, not copyable.
+class HomeTraceView {
+ public:
+  explicit HomeTraceView(const std::string& dir);
+
+  const std::string& name() const noexcept { return name_; }
+
+  const ts::TraceView& aggregate() const noexcept { return columns_.front(); }
+
+  /// Occupancy labels as the stored 0/1 doubles (same length/resolution as
+  /// the aggregate).
+  std::span<const double> occupancy_values() const noexcept {
+    return occupancy_.values();
+  }
+
+  std::size_t appliances() const noexcept { return appliance_names_.size(); }
+  const std::string& appliance_name(std::size_t i) const {
+    return appliance_names_.at(i);
+  }
+  const ts::TraceView& appliance(std::size_t i) const {
+    return columns_.at(1 + i);
+  }
+
+  /// Owning copy: one bulk copy per column, occupancy doubles narrowed
+  /// back to int labels. Bitwise identical to the trace that was saved.
+  HomeTrace materialize() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> appliance_names_;
+  std::vector<ts::TraceView> columns_;  ///< [0] aggregate, [1+i] appliances
+  ts::TraceView occupancy_;
+};
+
+/// `HomeTraceView(dir).materialize()` — the bulk-copy ingest path.
+HomeTrace load_home_trace(const std::string& dir);
+
+}  // namespace pmiot::synth

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "niom/evaluate.h"
 #include "core/local_service.h"
 #include "core/privacy.h"
@@ -121,6 +122,34 @@ TEST(Evaluator, SweepProducesFrontier) {
     for (const auto& [name, value] : point.leakage) {
       EXPECT_GE(value, 0.0);
       EXPECT_LE(value, 1.0);
+    }
+  }
+}
+
+TEST(Evaluator, SweepParallelMatchesSweepBitwiseAcrossPoolWidths) {
+  // The campaign runner and the parallel benches lean on this contract:
+  // point RNGs are forked from `rng` serially up front, so the pooled
+  // sweep reproduces the serial one bit for bit at any PMIOT_THREADS.
+  const auto home = test_home(21, 3);
+  const auto evaluator = PrivacyEvaluator::standard();
+  NoiseDefense defense;
+  const std::vector<double> intensities{0.0, 0.25, 0.5, 0.75, 1.0};
+  Rng serial_rng(77);
+  const auto serial = evaluator.sweep(defense, home, intensities, serial_rng);
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    par::ThreadPool pool(width);
+    par::ScopedPoolOverride scoped(pool);
+    Rng pooled_rng(77);
+    const auto pooled =
+        evaluator.sweep_parallel(defense, home, intensities, pooled_rng);
+    ASSERT_EQ(pooled.size(), serial.size()) << "pool width " << width;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(pooled[i].intensity, serial[i].intensity);
+      EXPECT_EQ(pooled[i].billing_error, serial[i].billing_error);
+      EXPECT_EQ(pooled[i].analytics_error, serial[i].analytics_error);
+      EXPECT_EQ(pooled[i].extra_energy_kwh, serial[i].extra_energy_kwh);
+      EXPECT_EQ(pooled[i].leakage, serial[i].leakage);
     }
   }
 }
