@@ -26,16 +26,16 @@ void store_u64(unsigned char* p, std::uint64_t v) {
   store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
 }
 
-std::uint32_t load_u32(const unsigned char* p) {
+std::uint32_t le_u32(const unsigned char* p) {
   return static_cast<std::uint32_t>(p[0]) |
          static_cast<std::uint32_t>(p[1]) << 8 |
          static_cast<std::uint32_t>(p[2]) << 16 |
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 
-std::uint64_t load_u64(const unsigned char* p) {
-  return static_cast<std::uint64_t>(load_u32(p)) |
-         static_cast<std::uint64_t>(load_u32(p + 4)) << 32;
+std::uint64_t le_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(le_u32(p)) |
+         static_cast<std::uint64_t>(le_u32(p + 4)) << 32;
 }
 
 std::size_t record_bytes(const CampaignPlan& plan) {
@@ -58,17 +58,17 @@ void validate_header(const unsigned char* head, const CampaignPlan& plan,
                      std::uint64_t config_hash, std::uint64_t base_seed) {
   PMIOT_CHECK(std::memcmp(head, kMagic, sizeof kMagic) == 0,
               "not a pmiot campaign checkpoint (bad magic)");
-  PMIOT_CHECK(load_u32(head + 8) == kVersion,
+  PMIOT_CHECK(le_u32(head + 8) == kVersion,
               "unsupported campaign checkpoint version");
-  PMIOT_CHECK(load_u32(head + 12) == kHeaderBytes,
+  PMIOT_CHECK(le_u32(head + 12) == kHeaderBytes,
               "unexpected campaign checkpoint header size");
-  PMIOT_CHECK(load_u64(head + 16) == config_hash,
+  PMIOT_CHECK(le_u64(head + 16) == config_hash,
               "checkpoint was written by a different campaign config");
-  PMIOT_CHECK(load_u32(head + 24) == plan.payload_doubles(),
+  PMIOT_CHECK(le_u32(head + 24) == plan.payload_doubles(),
               "checkpoint payload width does not match the attack suite");
-  PMIOT_CHECK(load_u64(head + 32) == plan.total_cells(),
+  PMIOT_CHECK(le_u64(head + 32) == plan.total_cells(),
               "checkpoint cell count does not match the grid");
-  PMIOT_CHECK(load_u64(head + 40) == base_seed,
+  PMIOT_CHECK(le_u64(head + 40) == base_seed,
               "checkpoint was written with a different base seed");
 }
 
@@ -101,7 +101,7 @@ CheckpointLoad load_checkpoint(const std::string& path,
   const std::size_t complete = (buf.size() - kHeaderBytes) / rec;
   for (std::size_t r = 0; r < complete; ++r) {
     const unsigned char* p = buf.data() + kHeaderBytes + r * rec;
-    const std::uint64_t cell = load_u64(p);
+    const std::uint64_t cell = le_u64(p);
     PMIOT_CHECK(cell < plan.total_cells(),
                 "campaign checkpoint record addresses a cell off the grid");
     double* out = values.data() + cell * P;
@@ -110,14 +110,14 @@ CheckpointLoad load_checkpoint(const std::string& path,
       // bitwise with what we already have; anything else is another run's
       // file.
       for (std::size_t k = 0; k < P; ++k) {
-        const std::uint64_t bits = load_u64(p + 8 + k * sizeof(double));
+        const std::uint64_t bits = le_u64(p + 8 + k * sizeof(double));
         PMIOT_CHECK(bits == std::bit_cast<std::uint64_t>(out[k]),
                     "conflicting duplicate cell record in checkpoint");
       }
       continue;
     }
     for (std::size_t k = 0; k < P; ++k) {
-      out[k] = std::bit_cast<double>(load_u64(p + 8 + k * sizeof(double)));
+      out[k] = std::bit_cast<double>(le_u64(p + 8 + k * sizeof(double)));
     }
     done[cell] = 1;
     ++load.cells;
@@ -169,6 +169,10 @@ void CheckpointWriter::open_fresh(const std::string& path,
   std::fflush(file_);
 }
 
+// pmiot: egress — completed cell payloads persist to the local campaign
+// checkpoint here; this is the sweep's sanctioned custody boundary.
+// pmiot: no-alloc — append runs once per frontier cell on the sweep hot
+// path; record_buf_ is sized up front by open_fresh/resume.
 void CheckpointWriter::append(std::uint64_t cell_id,
                               std::span<const double> payload) {
   PMIOT_CHECK(payload.size() == payload_doubles_,

@@ -49,6 +49,8 @@ class Defense {
 /// the unit the campaign layer's content-keyed model cache stores: a naive
 /// cartesian sweep refits per cell, which the forest/kNN attackers make the
 /// dominant cost.
+// pmiot: sensitive — fitted attacker state is distilled from a home's
+// ground truth and reconstructs it on demand.
 class AttackModel {
  public:
   virtual ~AttackModel() = default;

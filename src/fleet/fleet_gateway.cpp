@@ -95,6 +95,9 @@ void stable_sort_suffix_by_time(std::vector<net::Packet>& packets,
 
 }  // namespace
 
+// pmiot: no-alloc — the arena overloads exist so fleet passes can reuse
+// capture buffers; no definite heap allocation may creep back in (vector
+// growth on the warm arena is policed by the counting-operator-new tests).
 void make_home_into(const FleetOptions& options, std::size_t home,
                     HomeCapture& out, HomeArena& arena) {
   PMIOT_CHECK(options.duration_s > 0.0, "duration must be positive");

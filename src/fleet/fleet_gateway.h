@@ -77,6 +77,8 @@ inline constexpr std::size_t kNoInfectedDevice = ~std::size_t{0};
 
 /// One home's simulated world: device roster with lifecycles and the
 /// merged, time-sorted capture.
+// pmiot: sensitive — the full per-home capture, the rawest artifact the
+// gateway handles.
 struct HomeCapture {
   std::vector<DeviceLifecycle> devices;
   std::vector<net::Packet> packets;

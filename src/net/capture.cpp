@@ -65,6 +65,9 @@ std::vector<Packet> read_capture(std::istream& is) {
 }
 
 void save_capture(const std::string& path, std::span<const Packet> packets) {
+  // pmiot-lint: allow(privacy-flow) — capture persistence is the gateway
+  // operator's own local artifact (§III training data stays in the home);
+  // nothing here leaves the process boundary toward the cloud.
   std::ofstream os(path);
   PMIOT_CHECK(os.good(), "cannot open for writing: " + path);
   write_capture(os, packets);

@@ -16,6 +16,8 @@ namespace pmiot::net {
 enum class Protocol : std::uint8_t { kTcp, kUdp };
 
 /// One observed packet. Timestamps are seconds from the capture start.
+// pmiot: sensitive — packet metadata is the §II traffic-analysis substrate;
+// timing/size sequences reveal device activity and thus occupancy.
 struct Packet {
   double timestamp_s = 0.0;
   std::uint32_t src_ip = 0;
@@ -48,6 +50,7 @@ struct FlowKeyHash {
 };
 
 /// Aggregated bidirectional flow statistics.
+// pmiot: sensitive — flow records summarize who talked to whom and when.
 struct Flow {
   FlowKey key;
   double first_ts = 0.0;

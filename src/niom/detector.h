@@ -24,6 +24,8 @@ namespace pmiot::niom {
 
 /// Interface shared by occupancy detectors (and reused by the core privacy
 /// evaluator as the canonical occupancy *attack*).
+// pmiot: sensitive — a fitted detector and its detect() output are
+// occupancy estimates; treat them with the same custody as occupancy.
 class OccupancyDetector {
  public:
   virtual ~OccupancyDetector() = default;

@@ -27,11 +27,14 @@ struct HomeConfig {
 
 /// Output of one simulation run. All series are 1-minute resolution and
 /// cover the same horizon; `occupancy` is per-minute 0/1.
+// pmiot: sensitive — a home's metered memoir: the aggregate plus ground
+// truth an attacker would recover (the `occupancy` field is also covered
+// by the analyzer's occupancy built-in).
 struct HomeTrace {
   std::string name;
   ts::TimeSeries aggregate;                  ///< metered total (kW)
   std::vector<std::string> appliance_names;  ///< parallel to per_appliance
-  std::vector<ts::TimeSeries> per_appliance; ///< submetered ground truth (kW)
+  std::vector<ts::TimeSeries> per_appliance; ///< submetered truth; pmiot: sensitive
   std::vector<int> occupancy;                ///< per-minute ground truth
 
   /// Index of an appliance by name; throws InvalidArgument if absent.

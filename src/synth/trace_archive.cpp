@@ -29,6 +29,9 @@ void save_home_trace(const std::string& dir, const HomeTrace& trace) {
               "occupancy labels do not cover the aggregate");
   std::filesystem::create_directories(dir);
 
+  // pmiot-lint: allow(privacy-flow) — the archive is the simulator's own
+  // ground-truth store (local benchmark input), not a release channel; the
+  // released/defended view goes through src/defense and src/campaign.
   std::ofstream manifest(dir + "/manifest.txt");
   PMIOT_CHECK(static_cast<bool>(manifest),
               "cannot write home-trace manifest in " + dir);

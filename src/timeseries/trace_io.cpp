@@ -186,14 +186,14 @@ void store_i32(unsigned char* p, std::int32_t v) {
   store_u32(p, static_cast<std::uint32_t>(v));
 }
 
-std::uint32_t load_u32(const unsigned char* p) {
+std::uint32_t le_u32(const unsigned char* p) {
   return static_cast<std::uint32_t>(p[0]) |
          (static_cast<std::uint32_t>(p[1]) << 8) |
          (static_cast<std::uint32_t>(p[2]) << 16) |
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
-std::uint64_t load_u64(const unsigned char* p) {
+std::uint64_t le_u64(const unsigned char* p) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
@@ -201,8 +201,8 @@ std::uint64_t load_u64(const unsigned char* p) {
   return v;
 }
 
-std::int32_t load_i32(const unsigned char* p) {
-  return static_cast<std::int32_t>(load_u32(p));
+std::int32_t le_i32(const unsigned char* p) {
+  return static_cast<std::int32_t>(le_u32(p));
 }
 
 /// Parsed directory of a binary trace buffer: the metadata plus the
@@ -218,22 +218,22 @@ BinaryLayout parse_binary_header(const unsigned char* data, std::size_t size) {
   PMIOT_CHECK(size >= kHeaderBytes, "truncated pmiot binary trace header");
   PMIOT_CHECK(std::memcmp(data, kBinaryMagic, sizeof kBinaryMagic) == 0,
               "not a pmiot binary trace (bad magic)");
-  const std::uint32_t version = load_u32(data + 8);
+  const std::uint32_t version = le_u32(data + 8);
   PMIOT_CHECK(version == kBinaryVersion,
               "unsupported pmiot binary trace version " +
                   std::to_string(version));
-  const std::uint32_t header_bytes = load_u32(data + 12);
+  const std::uint32_t header_bytes = le_u32(data + 12);
   PMIOT_CHECK(header_bytes == kHeaderBytes,
               "unexpected header size in pmiot binary trace");
 
   BinaryLayout out;
-  out.meta.start_date = CivilDate{load_i32(data + 16), load_i32(data + 20),
-                                  load_i32(data + 24)};
-  out.meta.start_minute = load_i32(data + 28);
-  out.meta.interval_seconds = load_i32(data + 32);
-  const std::uint32_t num_columns = load_u32(data + 36);
-  const std::uint64_t num_rows = load_u64(data + 40);
-  const std::uint64_t dir_offset = load_u64(data + 48);
+  out.meta.start_date = CivilDate{le_i32(data + 16), le_i32(data + 20),
+                                  le_i32(data + 24)};
+  out.meta.start_minute = le_i32(data + 28);
+  out.meta.interval_seconds = le_i32(data + 32);
+  const std::uint32_t num_columns = le_u32(data + 36);
+  const std::uint64_t num_rows = le_u64(data + 40);
+  const std::uint64_t dir_offset = le_u64(data + 48);
   PMIOT_CHECK(num_columns >= 1, "pmiot binary trace has no columns");
   PMIOT_CHECK(dir_offset == kHeaderBytes,
               "unexpected directory offset in pmiot binary trace");
@@ -251,8 +251,8 @@ BinaryLayout parse_binary_header(const unsigned char* data, std::size_t size) {
     if (std::strcmp(reinterpret_cast<const char*>(entry), kValueColumn) != 0) {
       continue;
     }
-    const std::uint64_t offset = load_u64(entry + kColumnNameBytes);
-    const std::uint64_t bytes = load_u64(entry + kColumnNameBytes + 8);
+    const std::uint64_t offset = le_u64(entry + kColumnNameBytes);
+    const std::uint64_t bytes = le_u64(entry + kColumnNameBytes + 8);
     PMIOT_CHECK(offset % alignof(double) == 0,
                 "misaligned column block in pmiot binary trace");
     PMIOT_CHECK(bytes == num_rows * sizeof(double),
@@ -275,7 +275,7 @@ std::vector<double> copy_column(const unsigned char* block, std::size_t n) {
     if (n > 0) std::memcpy(values.data(), block, n * sizeof(double));
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      values[i] = std::bit_cast<double>(load_u64(block + i * sizeof(double)));
+      values[i] = std::bit_cast<double>(le_u64(block + i * sizeof(double)));
     }
   }
   return values;

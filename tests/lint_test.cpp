@@ -2,17 +2,29 @@
 // banned pattern, stay quiet on the clean variant, honour allow(...)
 // suppressions, and report stale or unknown suppressions. Fixtures are
 // embedded strings, so these tests never depend on the repo checkout.
+#include <cctype>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "pmiot_lint/index.h"
 #include "pmiot_lint/lint.h"
+#include "pmiot_lint/report.h"
+#include "pmiot_lint/token.h"
 
 namespace {
 
+using pmiot::lint::Analyzer;
 using pmiot::lint::Diagnostic;
+using pmiot::lint::index_file;
 using pmiot::lint::lint_source;
+using pmiot::lint::scan_text;
+using pmiot::lint::ScanResult;
+using pmiot::lint::Token;
+using pmiot::lint::TokenKind;
 
 std::vector<std::string> rules_of(const std::string& path,
                                   const std::string& source) {
@@ -21,6 +33,27 @@ std::vector<std::string> rules_of(const std::string& path,
     rules.push_back(diagnostic.rule);
   }
   return rules;
+}
+
+/// Lints a multi-file fixture project and returns the rule names fired.
+std::vector<std::string> rules_of_project(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  Analyzer analyzer;
+  for (const auto& [path, content] : files) analyzer.add_file(path, content);
+  std::vector<std::string> rules;
+  for (const auto& diagnostic : analyzer.run()) {
+    rules.push_back(diagnostic.rule);
+  }
+  return rules;
+}
+
+bool has_ident(const ScanResult& scan, const std::string& name) {
+  for (const Token& token : scan.tokens) {
+    if (token.kind == TokenKind::kIdentifier && token.text == name) {
+      return true;
+    }
+  }
+  return false;
 }
 
 TEST(Lint, CleanSourceHasNoFindings) {
@@ -352,6 +385,575 @@ TEST(Lint, EveryRuleHasADescription) {
     EXPECT_FALSE(pmiot::lint::describe_rule(rule).empty()) << rule;
   }
   EXPECT_TRUE(pmiot::lint::describe_rule("no-such-rule").empty());
+}
+
+// --- token scanner corner cases (PR 9 tentpole; each case pinned here is
+// listed in token.h) ---
+
+TEST(Lint, ScanBlanksMultiLineBlockComments) {
+  const auto scan = scan_text(
+      "int a;\n"
+      "/* rand()\n"
+      "   time(nullptr)\n"
+      "*/\n"
+      "int b;\n");
+  EXPECT_TRUE(has_ident(scan, "a"));
+  EXPECT_TRUE(has_ident(scan, "b"));
+  EXPECT_FALSE(has_ident(scan, "rand"));
+  EXPECT_FALSE(has_ident(scan, "time"));
+  // The comment text stays addressable per line for directive parsing.
+  EXPECT_NE(scan.comments[1].find("rand"), std::string::npos);
+}
+
+TEST(Lint, ScanSlashStarSlashDoesNotTerminateABlockComment) {
+  // "/*/" is an *opening* delimiter plus one comment character; the old
+  // close detector saw "*/" in it and dropped back to code too early.
+  const auto scan = scan_text("/*/ rand() */ int x;\n");
+  EXPECT_FALSE(has_ident(scan, "rand"));
+  EXPECT_TRUE(has_ident(scan, "x"));
+}
+
+TEST(Lint, ScanBlanksRawStringsIncludingPrefixesAndDelimiters) {
+  const auto scan = scan_text(
+      "auto a = R\"(rand() inside)\";\n"
+      "auto b = u8R\"(time(nullptr))\";\n"
+      "auto c = LR\"x(srand(1) with )\" decoy)x\";\n"
+      "int after;\n");
+  EXPECT_FALSE(has_ident(scan, "rand"));
+  EXPECT_FALSE(has_ident(scan, "time"));
+  EXPECT_FALSE(has_ident(scan, "srand"));
+  EXPECT_FALSE(has_ident(scan, "inside"));
+  EXPECT_FALSE(has_ident(scan, "decoy"));  // `)"` != the )x" closer
+  EXPECT_TRUE(has_ident(scan, "after"));
+}
+
+TEST(Lint, ScanEscapedQuotesDoNotEndStringLiterals) {
+  const auto scan =
+      scan_text("const char* s = \"say \\\"rand()\\\" now\"; int z;\n");
+  EXPECT_FALSE(has_ident(scan, "rand"));
+  EXPECT_FALSE(has_ident(scan, "now"));
+  EXPECT_TRUE(has_ident(scan, "z"));
+}
+
+TEST(Lint, ScanDigitSeparatorsAreNotCharLiterals) {
+  // 1'000'000 must not open a char literal — the old scanner's confusion
+  // here let trailing comment text re-enter the code channel.
+  const auto scan = scan_text(
+      "int n = 1'000'000;  // then rand() maybe\n"
+      "int m = 2;\n");
+  EXPECT_TRUE(has_ident(scan, "n"));
+  EXPECT_TRUE(has_ident(scan, "m"));
+  EXPECT_FALSE(has_ident(scan, "rand"));
+  EXPECT_NE(scan.comments[0].find("rand"), std::string::npos);
+}
+
+TEST(Lint, ScanBackslashContinuationExtendsLineComments) {
+  // Phase-2 splicing joins the next physical line into the comment.
+  const auto scan = scan_text(
+      "// this comment continues \\\n"
+      "int hidden = rand();\n"
+      "int shown = 1;\n");
+  EXPECT_FALSE(has_ident(scan, "hidden"));
+  EXPECT_FALSE(has_ident(scan, "rand"));
+  EXPECT_TRUE(has_ident(scan, "shown"));
+}
+
+TEST(Lint, ScanDirectiveContinuationsStayDirectives) {
+  const auto scan = scan_text(
+      "#define HELPER(x) \\\n"
+      "  rand()\n"
+      "int live = 1;\n");
+  EXPECT_FALSE(has_ident(scan, "rand"));  // directive lines yield no tokens
+  EXPECT_TRUE(has_ident(scan, "live"));
+  ASSERT_GE(scan.directive_lines.size(), 2u);
+  EXPECT_TRUE(scan.directive_lines[0]);
+  EXPECT_TRUE(scan.directive_lines[1]);  // the continuation line
+  EXPECT_TRUE(scan.line_has_code(1));    // directives anchor allow() lines
+}
+
+TEST(Lint, ScanIfZeroRegionsAreInvisible) {
+  const auto scan = scan_text(
+      "#if 0\n"
+      "int dead = rand();\n"
+      "#else\n"
+      "int alive = 1;\n"
+      "#endif\n"
+      "#if false\n"
+      "int also_dead = srand(7);\n"
+      "#endif\n");
+  EXPECT_FALSE(has_ident(scan, "dead"));
+  EXPECT_FALSE(has_ident(scan, "rand"));
+  EXPECT_FALSE(has_ident(scan, "also_dead"));
+  EXPECT_TRUE(has_ident(scan, "alive"));
+}
+
+TEST(Lint, AllowGrantsInsideDisabledRegionsDoNotApply) {
+  // Comments in `#if 0` are dropped with the code they excuse; the live
+  // violation below the region must still fire.
+  const std::string source =
+      "#if 0\n"
+      "// pmiot-lint" ": allow(raw-rand)\n"
+      "#endif\n"
+      "int x = rand();\n";
+  EXPECT_EQ(rules_of("src/a.cpp", source),
+            std::vector<std::string>{"raw-rand"});
+}
+
+// --- regression oracle: the pre-PR-9 scanner ---
+
+/// A faithful miniature of the old line/string blanking state machine: no
+/// digit-separator awareness, no preprocessor handling, no comment
+/// continuation. The fixtures below keep a banned call visible through
+/// *this* blanker (the old analyzer fired on them) while the real token
+/// scanner stays silent.
+std::string legacy_blank(const std::string& text) {
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  std::string code = text;
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLine) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kLine;
+          code[i] = ' ';
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+          state = State::kBlock;
+          code[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        code[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '/' && i > 0 && text[i - 1] == '*') state = State::kCode;
+        code[i] = ' ';
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code[i] = ' ';
+          if (i + 1 < text.size()) code[++i] = ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+        } else {
+          code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code[i] = ' ';
+          if (i + 1 < text.size()) code[++i] = ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          code[i] = ' ';
+        }
+        break;
+    }
+  }
+  return code;
+}
+
+/// True when `word(` survives legacy blanking as an apparent call — the
+/// trigger shape of the old banned-call rule.
+bool legacy_sees_call(const std::string& text, const std::string& word) {
+  const std::string code = legacy_blank(text);
+  for (std::size_t pos = code.find(word); pos != std::string::npos;
+       pos = code.find(word, pos + 1)) {
+    const bool left_ok =
+        pos == 0 || !(std::isalnum(static_cast<unsigned char>(
+                          code[pos - 1])) ||
+                      code[pos - 1] == '_');
+    std::size_t after = pos + word.size();
+    while (after < code.size() && (code[after] == ' ' || code[after] == '\t')) {
+      ++after;
+    }
+    if (left_ok && after < code.size() && code[after] == '(') return true;
+  }
+  return false;
+}
+
+TEST(Lint, TokenScannerFixesLegacyFalsePositives) {
+  // An apostrophe in a comment flipped the old scanner into a char
+  // literal, resurfacing the rest of the comment as code.
+  const std::string contraction =
+      "int n = 1'000;  // don't call rand() in here\n";
+  ASSERT_TRUE(legacy_sees_call(contraction, "rand"));
+  EXPECT_TRUE(rules_of("src/a.cpp", contraction).empty());
+
+  // `#if 0` regions were plain code to the old scanner.
+  const std::string disabled =
+      "#if 0\n"
+      "int dead = rand();\n"
+      "#endif\n";
+  ASSERT_TRUE(legacy_sees_call(disabled, "rand"));
+  EXPECT_TRUE(rules_of("src/a.cpp", disabled).empty());
+
+  // A line comment ending in a backslash splices into the next physical
+  // line; the old scanner reset at the newline and saw code.
+  const std::string continued =
+      "// see the fallback below \\\n"
+      "int unused_fallback = rand();\n";
+  ASSERT_TRUE(legacy_sees_call(continued, "rand"));
+  EXPECT_TRUE(rules_of("src/a.cpp", continued).empty());
+}
+
+// --- symbol index: functions, annotations, includes ---
+
+TEST(Lint, IndexAnnotationAttachesToStructTag) {
+  const auto index = index_file("src/a.h",
+                                "#include <vector>\n"
+                                "// pmiot: sensitive — per-home memoir\n"
+                                "struct Memoir {\n"
+                                "  std::vector<double> kw;\n"
+                                "};\n");
+  EXPECT_EQ(index.sensitive_names, std::vector<std::string>{"Memoir"});
+  EXPECT_TRUE(index.annotation_errors.empty());
+}
+
+TEST(Lint, IndexAnnotationAttachesToTrailingField) {
+  const auto index =
+      index_file("src/a.h",
+                 "#include <vector>\n"
+                 "struct House {\n"
+                 "  std::vector<int> occupants;  ///< truth; pmiot: sensitive\n"
+                 "};\n");
+  EXPECT_EQ(index.sensitive_names, std::vector<std::string>{"occupants"});
+}
+
+TEST(Lint, IndexNoAllocMarkerReachesMultiLineSignatures) {
+  const auto index = index_file("src/a.cpp",
+                                "// pmiot: no-alloc\n"
+                                "void\n"
+                                "hot_merge(int a,\n"
+                                "          int b) { use(a, b); }\n");
+  ASSERT_EQ(index.functions.size(), 1u);
+  EXPECT_EQ(index.functions[0].name, "hot_merge");
+  EXPECT_TRUE(index.functions[0].no_alloc);
+}
+
+TEST(Lint, IndexQualifiedPmiotNamesInProseAreNotAnnotations) {
+  const auto index = index_file(
+      "src/a.cpp",
+      "// pmiot::par owns sharding; see also pmiot: (nothing).\n"
+      "int x = 1;\n");
+  EXPECT_TRUE(index.annotations.empty());
+  EXPECT_TRUE(index.annotation_errors.empty());
+}
+
+TEST(Lint, IndexCollectsQuotedProjectIncludesInOrder) {
+  const auto index = index_file("src/a.cpp",
+                                "#include \"timeseries/timeseries.h\"\n"
+                                "#include <vector>\n"
+                                "#include \"common/check.h\"\n"
+                                "int x = 1;\n");
+  const std::vector<std::string> expected = {"timeseries/timeseries.h",
+                                             "common/check.h"};
+  EXPECT_EQ(index.includes, expected);
+}
+
+// --- par-rng-seed: the one-level helper hop ---
+
+TEST(Lint, ParRngSeedFollowsSeedsThroughOneHelperCall) {
+  const std::string use =
+      "void fill(std::vector<double>& out, std::uint64_t base) {\n"
+      "  par::parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    Rng rng(stream_for(base, i));\n"
+      "    out[i] = rng.uniform();\n"
+      "  });\n"
+      "}\n";
+  // The helper's body mentions a seed, so the hop is satisfied.
+  const std::string seeded_helper =
+      "std::uint64_t stream_for(std::uint64_t base_seed, std::size_t i) {\n"
+      "  return mix(base_seed, i);\n"
+      "}\n";
+  EXPECT_TRUE(rules_of_project(
+                  {{"src/h.cpp", seeded_helper}, {"src/u.cpp", use}})
+                  .empty());
+
+  // A helper that never mentions a seed does not launder the violation.
+  const std::string unseeded_helper =
+      "std::uint64_t stream_for(std::uint64_t base, std::size_t i) {\n"
+      "  return base + i;\n"
+      "}\n";
+  EXPECT_EQ(rules_of_project(
+                {{"src/h.cpp", unseeded_helper}, {"src/u.cpp", use}}),
+            std::vector<std::string>{"par-rng-seed"});
+}
+
+// --- privacy-flow: annotated taint, built-ins, custody handoffs ---
+
+TEST(Lint, PrivacyFlowFlagsAnnotatedTaintReachingASink) {
+  const std::string header =
+      "#include <vector>\n"
+      "// pmiot: sensitive — per-home memoir\n"
+      "struct Memoir {\n"
+      "  std::vector<double> kw;\n"
+      "};\n";
+  const std::string writer =
+      "void export_memoir(const Memoir& m, const std::string& path) {\n"
+      "  std::ofstream os(path);\n"
+      "  os << m.kw.size();\n"
+      "}\n";
+  const auto rules = rules_of_project(
+      {{"src/synth/memoir.h", header}, {"src/io/export.cpp", writer}});
+  EXPECT_EQ(rules, std::vector<std::string>{"privacy-flow"});
+
+  // The same writer outside src/ is a tool, not library code.
+  EXPECT_TRUE(rules_of_project({{"src/synth/memoir.h", header},
+                                {"tools/export.cpp", writer}})
+                  .empty());
+}
+
+TEST(Lint, PrivacyFlowPropagatesThroughTheCallGraph) {
+  const std::string header =
+      "#include <vector>\n"
+      "// pmiot: sensitive\n"
+      "struct Memoir {\n"
+      "  std::vector<double> kw;\n"
+      "};\n";
+  // `publish` never writes itself; it reaches the sink through dump_rows.
+  const std::string caller =
+      "void publish(const Memoir& m) { dump_rows(m.kw); }\n";
+  const std::string callee =
+      "void dump_rows(const std::vector<double>& rows) {\n"
+      "  std::ofstream os(\"rows.txt\");\n"
+      "  os << rows.size();\n"
+      "}\n";
+  const auto diagnostics = [&] {
+    Analyzer analyzer;
+    analyzer.add_file("src/synth/memoir.h", header);
+    analyzer.add_file("src/core/publish.cpp", caller);
+    analyzer.add_file("src/io/dump.cpp", callee);
+    return analyzer.run();
+  }();
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "privacy-flow");
+  // Anchored at the tainted function, not the helper that merely writes.
+  EXPECT_EQ(diagnostics[0].file, "src/core/publish.cpp");
+}
+
+TEST(Lint, PrivacyFlowStopsAtSanctionedCustodyHandoffs) {
+  const std::string header =
+      "#include <vector>\n"
+      "// pmiot: sensitive\n"
+      "struct Memoir {\n"
+      "  std::vector<double> kw;\n"
+      "};\n";
+  const std::string caller =
+      "void release(const Memoir& m) { defend_and_write(m); }\n";
+  const std::string defense =
+      "// pmiot: egress — the defended view leaves through here\n"
+      "void defend_and_write(const Memoir& m) {\n"
+      "  std::ofstream os(\"out.txt\");\n"
+      "  os << m.kw.size();\n"
+      "}\n";
+  EXPECT_TRUE(rules_of_project({{"src/synth/memoir.h", header},
+                                {"src/core/release.cpp", caller},
+                                {"src/defense/writer.cpp", defense}})
+                  .empty());
+}
+
+TEST(Lint, SanctionedModulesMustMarkDirectEgress) {
+  const std::string unmarked =
+      "void persist(std::span<const double> payload, std::FILE* f) {\n"
+      "  std::fwrite(payload.data(), 8, payload.size(), f);\n"
+      "}\n";
+  const auto diagnostics =
+      lint_source("src/campaign/writer.cpp", unmarked);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "privacy-flow");
+  EXPECT_NE(diagnostics[0].message.find("custody"), std::string::npos);
+
+  const std::string marked =
+      "// pmiot: egress — checkpoint custody boundary\n" + unmarked;
+  EXPECT_TRUE(rules_of("src/campaign/writer.cpp", marked).empty());
+}
+
+TEST(Lint, EgressOutsideSanctionedModulesIsABadAnnotation) {
+  const std::string source =
+      "// pmiot: egress — wishful thinking\n"
+      "void send_all(int x) { use(x); }\n";
+  EXPECT_EQ(rules_of("src/net/leak.cpp", source),
+            std::vector<std::string>{"bad-annotation"});
+}
+
+TEST(Lint, PrivacyFlowBuiltinsNeedNoAnnotation) {
+  // Anything named *occupancy* is born sensitive.
+  const std::string occ =
+      "void log_occupancy(const std::vector<int>& occupancy_minutes) {\n"
+      "  std::ofstream os(\"occ.txt\");\n"
+      "  os << occupancy_minutes.size();\n"
+      "}\n";
+  EXPECT_EQ(rules_of("src/niom/log.cpp", occ),
+            std::vector<std::string>{"privacy-flow"});
+
+  // The payload built-in is an exact-identifier match, not a substring.
+  const std::string near_miss =
+      "void note_width(std::size_t payload_doubles) {\n"
+      "  std::ofstream os(\"w.txt\");\n"
+      "  os << payload_doubles;\n"
+      "}\n";
+  EXPECT_TRUE(rules_of("src/io/width.cpp", near_miss).empty());
+}
+
+TEST(Lint, PrivacyFlowHonoursJustifiedAllows) {
+  const std::string source =
+      "void save_occupancy(const std::vector<int>& occupancy) {\n"
+      "  // local ground-truth archive, not a release channel.\n"
+      "  // pmiot-lint" ": allow(privacy-flow)\n"
+      "  std::ofstream os(\"occ.txt\");\n"
+      "  os << occupancy.size();\n"
+      "}\n";
+  EXPECT_TRUE(rules_of("src/synth/save.cpp", source).empty());
+}
+
+// --- check-coverage: parser entry points must validate ---
+
+TEST(Lint, CheckCoverageFlagsUncheckedParserEntryPoints) {
+  const std::string unchecked =
+      "int parse_frame(const unsigned char* p, std::size_t n) {\n"
+      "  return p[0] + static_cast<int>(n);\n"
+      "}\n";
+  EXPECT_EQ(rules_of("src/net/frame.cpp", unchecked),
+            std::vector<std::string>{"check-coverage"});
+
+  const std::string checked =
+      "int parse_frame(const unsigned char* p, std::size_t n) {\n"
+      "  PMIOT_CHECK(n >= 4, \"frame too short\");\n"
+      "  return p[0] + static_cast<int>(n);\n"
+      "}\n";
+  EXPECT_TRUE(rules_of("src/net/frame.cpp", checked).empty());
+}
+
+TEST(Lint, CheckCoverageAcceptsValidationInADirectHelper) {
+  const std::string parser =
+      "int parse_frame(const unsigned char* p, std::size_t n) {\n"
+      "  validate_frame(p, n);\n"
+      "  return p[0];\n"
+      "}\n";
+  const std::string helper =
+      "void validate_frame(const unsigned char* p, std::size_t n) {\n"
+      "  PMIOT_CHECK(p != nullptr && n >= 4, \"bad frame\");\n"
+      "}\n";
+  EXPECT_TRUE(rules_of_project({{"src/net/frame.cpp", parser},
+                                {"src/net/validate.cpp", helper}})
+                  .empty());
+}
+
+TEST(Lint, CheckCoverageScopesToRealEntryPoints) {
+  // No parameters: nothing external to validate.
+  EXPECT_TRUE(
+      rules_of("src/a.cpp", "int load_defaults() { return 3; }\n").empty());
+  // Outside src/ the rule stands down (test fixtures parse junk on
+  // purpose).
+  const std::string unchecked =
+      "int parse_frame(const unsigned char* p, std::size_t n) {\n"
+      "  return p[0] + static_cast<int>(n);\n"
+      "}\n";
+  EXPECT_TRUE(rules_of("tests/frame_test.cpp", unchecked).empty());
+}
+
+// --- no-alloc: annotated functions must not reach the heap ---
+
+TEST(Lint, NoAllocFlagsDirectAllocations) {
+  const std::string source =
+      "// pmiot: no-alloc\n"
+      "void hot(Buf& b) { b.p = new double[4]; }\n";
+  EXPECT_EQ(rules_of("src/a.cpp", source),
+            std::vector<std::string>{"no-alloc"});
+}
+
+TEST(Lint, NoAllocFlagsAllocationsThroughCallees) {
+  const std::string hot =
+      "// pmiot: no-alloc\n"
+      "void hot_path(Buf& b) { grow(b); }\n";
+  const std::string helper =
+      "void grow(Buf& b) { b.p = new double[8]; }\n";
+  const auto diagnostics = [&] {
+    Analyzer analyzer;
+    analyzer.add_file("src/hot.cpp", hot);
+    analyzer.add_file("src/grow.cpp", helper);
+    return analyzer.run();
+  }();
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "no-alloc");
+  EXPECT_EQ(diagnostics[0].file, "src/hot.cpp");
+}
+
+TEST(Lint, NoAllocIgnoresUnannotatedFunctionsAndArenaGrowth) {
+  // `new` in an unannotated function is ordinary C++.
+  EXPECT_TRUE(
+      rules_of("src/a.cpp", "void f(Buf& b) { b.p = new double[4]; }\n")
+          .empty());
+  // Container growth is the runtime self-checks' half of the contract.
+  const std::string growth =
+      "// pmiot: no-alloc\n"
+      "void hot(std::vector<double>& v) { v.push_back(1.0); }\n";
+  EXPECT_TRUE(rules_of("src/a.cpp", growth).empty());
+}
+
+// --- bad-annotation: the grammar polices itself ---
+
+TEST(Lint, UnknownAnnotationKindIsReported) {
+  const std::string source =
+      "// pmiot: frobnicate — not a thing\n"
+      "int x = 1;\n";
+  EXPECT_EQ(rules_of("src/a.cpp", source),
+            std::vector<std::string>{"bad-annotation"});
+}
+
+TEST(Lint, DanglingAnnotationIsReported) {
+  const std::string source =
+      "int f() { return 1; }\n"
+      "// pmiot: sensitive\n";
+  EXPECT_EQ(rules_of("src/a.cpp", source),
+            std::vector<std::string>{"bad-annotation"});
+}
+
+// --- report writers: JSON, SARIF, baseline ---
+
+TEST(Lint, ReportJsonCarriesFindingsAndEscapes) {
+  const std::vector<Diagnostic> diags = {
+      {"src/a.cpp", 3, "raw-rand", "say \"no\" to rand"}};
+  const std::string json = pmiot::lint::to_json(diags);
+  EXPECT_NE(json.find("\"tool\": \"pmiot_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"raw-rand\""), std::string::npos);
+  EXPECT_NE(json.find("say \\\"no\\\" to rand"), std::string::npos);
+}
+
+TEST(Lint, ReportSarifCarriesRulesAndResults) {
+  const std::vector<Diagnostic> diags = {
+      {"src/a.cpp", 7, "privacy-flow", "leak"}};
+  const std::string sarif = pmiot::lint::to_sarif(diags);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"privacy-flow\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  // Every rule the analyzer knows is declared in the driver block.
+  for (const auto& rule : pmiot::lint::rule_names()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""), std::string::npos)
+        << rule;
+  }
+}
+
+TEST(Lint, ReportBaselineRoundTrips) {
+  const Diagnostic d{"src/a.cpp", 3, "raw-rand", "msg"};
+  EXPECT_EQ(pmiot::lint::baseline_key(d), "raw-rand src/a.cpp");
+  const auto keys = pmiot::lint::parse_baseline(
+      "# comment\n\n  raw-rand src/a.cpp  \nprivacy-flow src/b.cpp\n");
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_TRUE(keys.count("raw-rand src/a.cpp"));
+  EXPECT_TRUE(keys.count("privacy-flow src/b.cpp"));
 }
 
 }  // namespace

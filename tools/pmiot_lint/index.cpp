@@ -1,0 +1,393 @@
+#include "pmiot_lint/index.h"
+
+#include <unordered_set>
+
+namespace pmiot::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool is_hspace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "if",        "else",      "for",        "while",     "do",
+      "switch",    "case",      "default",    "return",    "break",
+      "continue",  "goto",      "sizeof",     "alignof",   "alignas",
+      "new",       "delete",    "catch",      "try",       "throw",
+      "operator",  "static_assert", "decltype", "noexcept", "requires",
+      "typeid",    "co_await",  "co_return",  "co_yield",  "using",
+      "typedef",   "template",  "typename",   "struct",    "class",
+      "union",     "enum",      "namespace",  "public",    "private",
+      "protected", "virtual",   "static",     "inline",    "constexpr",
+      "consteval", "constinit", "extern",     "register",  "thread_local",
+      "mutable",   "volatile",  "const",      "friend",    "explicit",
+      "export",    "asm",       "this",       "nullptr",   "true",
+      "false",     "and",       "or",         "not",       "defined",
+      "assert",
+  };
+  return kSet;
+}
+
+/// Direct write sinks: constructs that move bytes out of the process
+/// (files, stdout/stderr). Read-side streams (ifstream/istream) and
+/// in-memory formatting (snprintf, ostringstream) are deliberately absent.
+const std::unordered_set<std::string>& sink_tokens() {
+  static const std::unordered_set<std::string> kSet = {
+      "ofstream", "fstream", "fopen",  "freopen", "fwrite",
+      "fputs",    "fputc",   "fprintf", "printf", "puts",
+      "putchar",  "cout",    "cerr",   "clog",
+  };
+  return kSet;
+}
+
+/// Definite heap allocations. Container growth (push_back/resize/reserve)
+/// is deliberately absent: warm-arena growth is legal in no-alloc paths
+/// and is policed at runtime by the counting-operator-new self-checks.
+const std::unordered_set<std::string>& alloc_tokens() {
+  static const std::unordered_set<std::string> kSet = {
+      "make_unique", "make_shared", "malloc",
+      "calloc",      "realloc",     "strdup",
+      "aligned_alloc",
+  };
+  return kSet;
+}
+
+bool is_punct(const Token& t, char c) {
+  return t.kind == TokenKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::size_t find_balanced(const std::vector<Token>& t, std::size_t open,
+                          char open_c, char close_c) {
+  int depth = 0;
+  for (std::size_t k = open; k < t.size(); ++k) {
+    if (is_punct(t[k], open_c)) {
+      ++depth;
+    } else if (is_punct(t[k], close_c)) {
+      if (--depth == 0) return k;
+    }
+  }
+  return kNpos;
+}
+
+/// Decoration walk after the parameter list's ')': returns the token index
+/// of the body '{' when `name ( ... )` at `close` heads a function
+/// definition, kNpos otherwise.
+std::size_t find_body_open(const std::vector<Token>& t, std::size_t close) {
+  std::size_t j = close + 1;
+  while (j < t.size()) {
+    const Token& d = t[j];
+    if (d.kind == TokenKind::kIdentifier) {
+      if (d.text == "const" || d.text == "override" || d.text == "final" ||
+          d.text == "mutable") {
+        ++j;
+        continue;
+      }
+      if (d.text == "noexcept" || d.text == "throw" || d.text == "requires") {
+        ++j;
+        if (j < t.size() && is_punct(t[j], '(')) {
+          const std::size_t c2 = find_balanced(t, j, '(', ')');
+          if (c2 == kNpos) return kNpos;
+          j = c2 + 1;
+        }
+        continue;
+      }
+      return kNpos;  // some other identifier: a declaration or expression
+    }
+    if (d.kind != TokenKind::kPunct) return kNpos;
+    const char p = d.text[0];
+    if (p == '&') {
+      ++j;
+      continue;
+    }
+    if (p == '-' && j + 1 < t.size() && is_punct(t[j + 1], '>')) {
+      // Trailing return type: scan to the body '{'; ';' or '=' means a
+      // declaration.
+      j += 2;
+      while (j < t.size()) {
+        if (is_punct(t[j], '(')) {
+          const std::size_t c2 = find_balanced(t, j, '(', ')');
+          if (c2 == kNpos) return kNpos;
+          j = c2 + 1;
+          continue;
+        }
+        if (is_punct(t[j], '{')) break;
+        if (is_punct(t[j], ';') || is_punct(t[j], '=')) return kNpos;
+        ++j;
+      }
+      continue;
+    }
+    if (p == ':' && !(j + 1 < t.size() && is_punct(t[j + 1], ':'))) {
+      // Constructor initializer list — or a ternary/label false positive,
+      // which aborts at the first top-level ';'.
+      ++j;
+      int depth = 0;
+      while (j < t.size()) {
+        const Token& e = t[j];
+        if (e.kind == TokenKind::kPunct) {
+          const char q = e.text[0];
+          if (q == '(' || q == '[') {
+            ++depth;
+          } else if (q == ')' || q == ']') {
+            --depth;
+          } else if (q == '{' && depth == 0) {
+            const Token& prev = t[j - 1];
+            const bool member_init = prev.kind == TokenKind::kIdentifier ||
+                                     is_punct(prev, '>');
+            if (!member_init) return j;  // the body
+            const std::size_t c2 = find_balanced(t, j, '{', '}');
+            if (c2 == kNpos) return kNpos;
+            j = c2;  // ++j below steps past
+          } else if (q == ';' && depth == 0) {
+            return kNpos;
+          }
+        }
+        ++j;
+      }
+      return kNpos;
+    }
+    if (p == '{') return j;
+    return kNpos;  // ';', ',', ')', '=' ... — call or declaration
+  }
+  return kNpos;
+}
+
+void collect_functions(const ScanResult& scan, FileIndex& out) {
+  const std::vector<Token>& t = scan.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || keywords().count(t[i].text)) {
+      continue;
+    }
+    if (!is_punct(t[i + 1], '(')) continue;
+    const std::size_t close = find_balanced(t, i + 1, '(', ')');
+    if (close == kNpos) continue;
+    const std::size_t body = find_body_open(t, close);
+    if (body == kNpos) continue;
+    const std::size_t body_end = find_balanced(t, body, '{', '}');
+    if (body_end == kNpos) continue;
+
+    FunctionDef fn;
+    fn.name = t[i].text;
+    fn.display = fn.name;
+    if (i >= 3 && is_punct(t[i - 1], ':') && is_punct(t[i - 2], ':') &&
+        t[i - 3].kind == TokenKind::kIdentifier) {
+      fn.display = t[i - 3].text + "::" + fn.name;
+    } else if (i >= 1 && is_punct(t[i - 1], '~')) {
+      fn.display = "~" + fn.name;
+    }
+    fn.line = t[i].line;
+    fn.body_begin = body;
+    fn.body_end = body_end;
+
+    for (std::size_t k = i + 2; k < close; ++k) {
+      if (t[k].kind == TokenKind::kIdentifier && t[k].text != "void") {
+        fn.has_params = true;
+        break;
+      }
+      if (t[k].kind == TokenKind::kNumber ||
+          t[k].kind == TokenKind::kString || t[k].kind == TokenKind::kChar) {
+        fn.has_params = true;
+        break;
+      }
+    }
+
+    std::unordered_set<std::string> seen_idents;
+    for (std::size_t k = i; k <= body_end; ++k) {
+      const Token& tok = t[k];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      const std::string& w = tok.text;
+      if (w == "PMIOT_CHECK" || w == "PMIOT_ASSERT") fn.has_check = true;
+      if (w == "new" &&
+          !(k > i && t[k - 1].kind == TokenKind::kIdentifier &&
+            t[k - 1].text == "operator")) {
+        fn.allocs.push_back({w, tok.line});
+      }
+      if (keywords().count(w)) continue;
+      if (k != i && k + 1 <= body_end && is_punct(t[k + 1], '(')) {
+        fn.callees.push_back({w, tok.line});
+      }
+      if (sink_tokens().count(w)) fn.sinks.push_back({w, tok.line});
+      if (alloc_tokens().count(w)) fn.allocs.push_back({w, tok.line});
+      if (seen_idents.insert(w).second) fn.idents.push_back({w, tok.line});
+    }
+    out.functions.push_back(std::move(fn));
+  }
+}
+
+/// Parses `pmiot: <kind>` markers out of one line's comment text. A
+/// marker only counts when the kind word ends the comment or is followed
+/// by a justification delimiter (dash, paren, colon, comma) — so prose
+/// *mentioning* the grammar, e.g. "the `pmiot: sensitive` marker", does
+/// not register.
+void parse_annotations_on_line(const std::string& comment, std::size_t line,
+                               FileIndex& out) {
+  std::size_t p = 0;
+  while ((p = comment.find("pmiot:", p)) != std::string::npos) {
+    if (p > 0 && (is_ident_char(comment[p - 1]) || comment[p - 1] == '-')) {
+      p += 6;
+      continue;  // e.g. "mypmiot:" — not our marker
+    }
+    if (p + 6 < comment.size() && comment[p + 6] == ':') {
+      p += 6;
+      continue;  // "pmiot::..." — a qualified C++ name in prose
+    }
+    std::size_t q = p + 6;
+    while (q < comment.size() && is_hspace(comment[q])) ++q;
+    std::size_t r = q;
+    while (r < comment.size() &&
+           (is_ident_char(comment[r]) || comment[r] == '-')) {
+      ++r;
+    }
+    const std::string word = comment.substr(q, r - q);
+    if (word.empty()) {
+      p = r + 1;
+      continue;  // "pmiot:" with no annotation word is just prose
+    }
+    std::size_t s = r;
+    while (s < comment.size() && is_hspace(comment[s])) ++s;
+    const bool terminated =
+        s >= comment.size() || comment[s] == '-' || comment[s] == '(' ||
+        comment[s] == ';' || comment[s] == ',' ||
+        static_cast<unsigned char>(comment[s]) == 0xE2;  // en/em dash
+    if (terminated) {
+      if (word == "sensitive" || word == "no-alloc" || word == "egress") {
+        out.annotations.push_back({word, line, 0});
+      } else {
+        out.annotation_errors.push_back(
+            {line, "unknown annotation 'pmiot: " + word +
+                       "' (known: sensitive, no-alloc, egress)"});
+      }
+    }
+    p = r;
+  }
+}
+
+/// Finds the declared name a `pmiot: sensitive` marker attaches to on
+/// `line`: the identifier after struct/class/enum, else the last
+/// identifier before the declarator's terminating punctuation.
+std::string sensitive_target_name(const ScanResult& scan, std::size_t line) {
+  const std::vector<Token>& t = scan.tokens;
+  std::string last_ident;
+  bool after_tag = false;
+  for (const Token& tok : t) {
+    if (tok.line != line) {
+      if (tok.line > line) break;
+      continue;
+    }
+    if (tok.kind == TokenKind::kIdentifier) {
+      if (tok.text == "struct" || tok.text == "class" || tok.text == "enum") {
+        after_tag = true;
+        continue;
+      }
+      if (after_tag) return tok.text;  // the tag name
+      last_ident = tok.text;
+      continue;
+    }
+    if (tok.kind == TokenKind::kPunct && !last_ident.empty()) {
+      const char c = tok.text[0];
+      if (c == ';' || c == '=' || c == '{' || c == '(') break;
+    }
+  }
+  return last_ident;
+}
+
+void resolve_annotations(FileIndex& out) {
+  const ScanResult& scan = out.scan;
+  const std::size_t total_lines = scan.comments.size();
+  for (Annotation& a : out.annotations) {
+    std::size_t target = 0;
+    for (std::size_t l = a.line; l <= total_lines; ++l) {
+      if (scan.line_has_code(l)) {
+        target = l;
+        break;
+      }
+    }
+    if (target == 0) {
+      out.annotation_errors.push_back(
+          {a.line, "'pmiot: " + a.kind + "' attaches to no code"});
+      continue;
+    }
+    a.target_line = target;
+    if (a.kind == "sensitive") {
+      const std::string name = sensitive_target_name(scan, target);
+      if (name.empty()) {
+        out.annotation_errors.push_back(
+            {a.line,
+             "'pmiot: sensitive' found no declaration to mark on line " +
+                 std::to_string(target)});
+      } else {
+        out.sensitive_names.push_back(name);
+      }
+      continue;
+    }
+    // no-alloc / egress: attach to the function whose name token sits on
+    // the target line or within two lines below it (multi-line
+    // signatures put the name under the return type).
+    FunctionDef* best = nullptr;
+    for (FunctionDef& fn : out.functions) {
+      if (fn.line >= target && fn.line <= target + 2) {
+        if (best == nullptr || fn.line < best->line) best = &fn;
+      }
+    }
+    if (best == nullptr) {
+      out.annotation_errors.push_back(
+          {a.line, "'pmiot: " + a.kind +
+                       "' found no function definition at line " +
+                       std::to_string(target)});
+      continue;
+    }
+    if (a.kind == "no-alloc") best->no_alloc = true;
+    if (a.kind == "egress") best->egress = true;
+  }
+}
+
+/// Collects quoted `#include "..."` edges from the original text, skipping
+/// lines the preprocessor pass disabled.
+void collect_includes(const std::string& content, FileIndex& out) {
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t end = content.find('\n', pos);
+    if (end == std::string::npos) end = content.size();
+    std::size_t first = pos;
+    while (first < end && is_hspace(content[first])) ++first;
+    if (first < end && content[first] == '#' &&
+        first < out.scan.code.size() && out.scan.code[first] == '#') {
+      std::size_t p = first + 1;
+      while (p < end && is_hspace(content[p])) ++p;
+      if (content.compare(p, 7, "include") == 0) {
+        p += 7;
+        while (p < end && is_hspace(content[p])) ++p;
+        if (p < end && content[p] == '"') {
+          const std::size_t close = content.find('"', p + 1);
+          if (close != std::string::npos && close < end) {
+            out.includes.push_back(content.substr(p + 1, close - p - 1));
+          }
+        }
+      }
+    }
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+FileIndex index_file(const std::string& path, const std::string& content) {
+  FileIndex out;
+  out.path = path;
+  out.scan = scan_text(content);
+  collect_functions(out.scan, out);
+  for (std::size_t l = 1; l <= out.scan.comments.size(); ++l) {
+    const std::string& comment = out.scan.comments[l - 1];
+    if (!comment.empty()) parse_annotations_on_line(comment, l, out);
+  }
+  resolve_annotations(out);
+  collect_includes(content, out);
+  return out;
+}
+
+}  // namespace pmiot::lint

@@ -1,0 +1,71 @@
+// pmiot-lint symbol index: per-file function definitions, a name-based
+// call graph, include edges, and `pmiot:` annotations, extracted from the
+// token stream in one pass. The project-level rules (privacy-flow,
+// check-coverage, no-alloc, the upgraded par-rng-seed) are resolved over
+// the union of per-file indexes by the Analyzer in lint.cpp.
+//
+// The function detector is a token-shape heuristic, not a parser: it looks
+// for `name ( ... )` followed by definition decorations (const, noexcept,
+// ref-qualifiers, trailing return types, constructor initializer lists)
+// and then a balanced `{ ... }` body. That finds free functions, methods,
+// constructors/destructors, and functions nested in TEST bodies; it
+// deliberately rejects calls, declarations, and control-flow keywords.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pmiot_lint/token.h"
+
+namespace pmiot::lint {
+
+/// A callee reference (`name(` inside a function body) or a witness token
+/// (sink/allocation/sensitive identifier) with its source line.
+struct TokenRef {
+  std::string name;
+  std::size_t line = 0;
+};
+
+struct FunctionDef {
+  std::string name;       ///< last identifier before '(' (method base name)
+  std::string display;    ///< qualified spelling for messages, e.g. "Cp::append"
+  std::size_t line = 0;   ///< line of the name token
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index of matching '}'
+  bool has_params = false;     ///< parameter list is non-empty (and not `(void)`)
+  bool has_check = false;      ///< PMIOT_CHECK / PMIOT_ASSERT in the body
+  bool no_alloc = false;       ///< carries `pmiot: no-alloc`
+  bool egress = false;         ///< carries `pmiot: egress`
+  std::vector<TokenRef> callees;  ///< `ident(` sites in signature+body order
+  std::vector<TokenRef> sinks;    ///< direct write-sink tokens
+  std::vector<TokenRef> allocs;   ///< direct definite-allocation tokens
+  std::vector<TokenRef> idents;   ///< every identifier in the span (dedup'd)
+};
+
+/// One parsed `// pmiot: <kind>` marker.
+struct Annotation {
+  std::string kind;             ///< "sensitive", "no-alloc", or "egress"
+  std::size_t line = 0;         ///< line the marker appears on
+  std::size_t target_line = 0;  ///< code line the marker attaches to
+};
+
+struct AnnotationError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct FileIndex {
+  std::string path;
+  ScanResult scan;
+  std::vector<FunctionDef> functions;
+  std::vector<Annotation> annotations;
+  std::vector<std::string> sensitive_names;  ///< declared sensitive here
+  std::vector<AnnotationError> annotation_errors;  ///< bad-annotation facts
+  std::vector<std::string> includes;  ///< quoted project includes, in order
+};
+
+/// Scans and indexes one translation unit. Never touches the filesystem.
+FileIndex index_file(const std::string& path, const std::string& content);
+
+}  // namespace pmiot::lint

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <functional>
+#include <map>
 #include <set>
 #include <tuple>
 #include <utility>
+
+#include "pmiot_lint/index.h"
+#include "pmiot_lint/token.h"
 
 namespace pmiot::lint {
 namespace {
@@ -66,104 +71,20 @@ std::size_t matching_close(const std::string& text, std::size_t open) {
   return std::string::npos;
 }
 
-/// The source text with comment bodies and string/char-literal contents
-/// blanked to spaces (newlines kept, so offsets and line numbers survive),
-/// plus the comment text per line for directive parsing.
-struct ScannedSource {
-  std::string code;                   // same length as the input
-  std::vector<std::string> comments;  // comment text appearing on each line
-};
-
-ScannedSource scan(const std::string& text) {
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  ScannedSource out;
-  out.code = text;
-  out.comments.emplace_back();
-  State state = State::kCode;
-  std::string raw_close;  // )delim" that ends the active raw string
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      out.comments.emplace_back();
-      if (state == State::kLine) state = State::kCode;
-      continue;  // keep the newline in `code` whatever the state
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && starts_with(text, i, "//")) {
-          state = State::kLine;
-          out.code[i] = ' ';
-        } else if (c == '/' && starts_with(text, i, "/*")) {
-          state = State::kBlock;
-          out.code[i] = ' ';
-        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
-          // Raw string literal: R"delim( ... )delim"
-          raw_close = ")";
-          std::size_t j = i + 1;
-          while (j < text.size() && text[j] != '(') raw_close += text[j++];
-          raw_close += '"';
-          state = State::kRaw;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-        out.comments.back() += c;
-        out.code[i] = ' ';
-        break;
-      case State::kBlock:
-        out.comments.back() += c;
-        if (c == '/' && i > 0 && text[i - 1] == '*') {
-          out.comments.back().pop_back();  // drop the trailing '/'
-          if (!out.comments.back().empty()) out.comments.back().pop_back();
-          state = State::kCode;
-        }
-        out.code[i] = ' ';
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out.code[i] = ' ';
-          if (i + 1 < text.size() && text[i + 1] != '\n') out.code[++i] = ' ';
-        } else if (c == '"') {
-          state = State::kCode;
-        } else {
-          out.code[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out.code[i] = ' ';
-          if (i + 1 < text.size() && text[i + 1] != '\n') out.code[++i] = ' ';
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else {
-          out.code[i] = ' ';
-        }
-        break;
-      case State::kRaw:
-        if (starts_with(text, i, raw_close.c_str())) {
-          for (std::size_t j = 1; j < raw_close.size(); ++j) {
-            out.code[i + j] = ' ';
-          }
-          i += raw_close.size() - 1;
-          state = State::kCode;
-        } else {
-          out.code[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
 /// 1-based line number of offset `pos` in `text`.
 std::size_t line_of(const std::string& text, std::size_t pos) {
   return 1 + static_cast<std::size_t>(
                  std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(
                                               std::min(pos, text.size())),
                             '\n'));
+}
+
+std::string lowercase(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
 }
 
 struct RuleInfo {
@@ -185,7 +106,8 @@ constexpr RuleInfo kRules[] = {
      "exempt)"},
     {"par-rng-seed",
      "RNG constructed inside a parallel_for lambda must take a per-shard "
-     "seed (shard_seed or a precomputed seed value)"},
+     "seed (shard_seed, a precomputed seed value, or a helper call whose "
+     "definition mentions a seed)"},
     {"nested-par",
      "parallel_for inside a parallel_for lambda runs inline; restructure "
      "so one level owns the parallelism"},
@@ -203,6 +125,24 @@ constexpr RuleInfo kRules[] = {
      "PMIOT_SIMD-guarded preprocessor region; explicit vector code must stay "
      "behind the PMIOT_SIMD build option (src/simd/) so scalar builds stay "
      "the reference"},
+    {"privacy-flow",
+     "a src/ function handling sensitive data (pmiot: sensitive names, "
+     "occupancy/payload built-ins) reaches a file/stdout write sink outside "
+     "the sanctioned custody modules (src/defense/, src/campaign/); hand "
+     "custody off or justify with an allow"},
+    {"check-coverage",
+     "a parser entry point (read_*/load_*/parse_* under src/ taking input) "
+     "must PMIOT_CHECK-validate decoded lengths/offsets in its body or in a "
+     "directly-called helper before indexing buffers"},
+    {"no-alloc",
+     "a function annotated `pmiot: no-alloc` reaches a definite heap "
+     "allocation (new/make_unique/make_shared/malloc family) directly or "
+     "through project callees; warm-arena container growth is policed by "
+     "the runtime counting-operator-new probes instead"},
+    {"bad-annotation",
+     "a `pmiot:` annotation that is unknown, attaches to no "
+     "declaration/function, or marks egress outside a sanctioned module "
+     "(meta rule)"},
     {"stale-suppression",
      "an allow(...) directive that matched no violation (meta rule; not "
      "suppressible)"},
@@ -228,24 +168,10 @@ struct Allow {
 /// Parses `pmiot-lint: allow(...)` directives out of per-line comment text.
 /// A directive on a line with code targets that line; a directive on a
 /// comment-only line targets the next line that has code on it.
-std::vector<Allow> collect_allows(const ScannedSource& source,
+std::vector<Allow> collect_allows(const ScanResult& source,
                                   const std::string& path,
                                   std::vector<Diagnostic>& meta) {
   std::vector<Allow> allows;
-  const auto line_has_code = [&](std::size_t line_index) {
-    std::size_t begin = 0;
-    for (std::size_t l = 0; l < line_index; ++l) {
-      begin = source.code.find('\n', begin);
-      if (begin == std::string::npos) return false;
-      ++begin;
-    }
-    std::size_t end = source.code.find('\n', begin);
-    if (end == std::string::npos) end = source.code.size();
-    for (std::size_t i = begin; i < end; ++i) {
-      if (source.code[i] != ' ' && source.code[i] != '\t') return true;
-    }
-    return false;
-  };
   for (std::size_t li = 0; li < source.comments.size(); ++li) {
     const std::string& comment = source.comments[li];
     std::size_t pos = comment.find("pmiot-lint:");
@@ -260,10 +186,11 @@ std::vector<Allow> collect_allows(const ScannedSource& source,
                       "`pmiot-lint: allow(rule)`"});
       continue;
     }
-    std::size_t target = li;  // 0-based
-    if (!line_has_code(li)) {
-      target = li + 1;
-      while (target < source.comments.size() && !line_has_code(target)) {
+    std::size_t target = li + 1;  // 1-based
+    if (!source.line_has_code(target)) {
+      ++target;
+      while (target <= source.comments.size() &&
+             !source.line_has_code(target)) {
         ++target;
       }
     }
@@ -276,7 +203,7 @@ std::vector<Allow> collect_allows(const ScannedSource& source,
             meta.push_back({path, li + 1, "unknown-rule",
                             "allow(" + name + ") names no pmiot-lint rule"});
           } else {
-            allows.push_back({li + 1, target + 1, name, false});
+            allows.push_back({li + 1, target, name, false});
           }
           name.clear();
         }
@@ -406,7 +333,12 @@ void check_banned_calls(const std::string& path, const std::string& code,
   }
 }
 
+/// Answers "does a project function with this name mention a seed?" — the
+/// one-level helper hop the upgraded par-rng-seed rule follows.
+using SeedHelperLookup = std::function<bool(const std::string&)>;
+
 void check_par_regions(const std::string& path, const std::string& code,
+                       const SeedHelperLookup& helper_mentions_seed,
                        std::vector<Diagnostic>& findings) {
   const std::vector<ParRegion> regions = find_par_regions(code);
   if (regions.empty()) return;
@@ -444,24 +376,26 @@ void check_par_regions(const std::string& path, const std::string& code,
       if (close == std::string::npos) continue;
       const std::string args = code.substr(cursor + 1, close - cursor - 2);
       // Accept any seed-bearing argument: shard_seed(...), seeds[i],
-      // base_seed + ... — an identifier whose name mentions "seed".
+      // base_seed + ... — an identifier whose name mentions "seed" — or a
+      // call to a helper function whose own definition mentions a seed
+      // (one level deep, resolved over the project index).
       bool seeded = false;
-      for (std::size_t i = 0; i + 4 <= args.size(); ++i) {
+      for (std::size_t i = 0; i < args.size() && !seeded; ++i) {
         const bool word_start = i == 0 || !is_ident_char(args[i - 1]);
-        if (word_start && is_ident_char(args[i])) {
-          std::size_t j = i;
-          std::string ident;
-          while (j < args.size() && is_ident_char(args[j])) ident += args[j++];
-          std::string lower = ident;
-          std::transform(lower.begin(), lower.end(), lower.begin(),
-                         [](unsigned char c) {
-                           return static_cast<char>(std::tolower(c));
-                         });
-          if (lower.find("seed") != std::string::npos) {
+        if (!word_start || !is_ident_char(args[i])) continue;
+        std::size_t j = i;
+        std::string ident;
+        while (j < args.size() && is_ident_char(args[j])) ident += args[j++];
+        if (lowercase(ident).find("seed") != std::string::npos) {
+          seeded = true;
+        } else if (helper_mentions_seed) {
+          const std::size_t k = skip_spaces(args, j);
+          if (k < args.size() && args[k] == '(' &&
+              helper_mentions_seed(ident)) {
             seeded = true;
-            break;
           }
         }
+        i = j;
       }
       if (!seeded) {
         findings.push_back(
@@ -779,6 +713,249 @@ void check_include_hygiene(const std::string& path, const std::string& code,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Project rules: resolved over the union of per-file symbol indexes.
+
+bool in_sanctioned_module(const std::string& path) {
+  return path.rfind("src/defense/", 0) == 0 ||
+         path.rfind("src/campaign/", 0) == 0;
+}
+
+/// The cross-TU view: every function in the project, with its defining
+/// file, plus name lookup and the sensitive-name set.
+struct ProjectIndex {
+  std::vector<const FunctionDef*> fns;
+  std::vector<const FileIndex*> fn_file;  // parallel to fns
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  std::set<std::string> sensitive_names;
+
+  bool is_sensitive_ident(const std::string& w) const {
+    if (sensitive_names.count(w) != 0) return true;
+    if (w == "payload" || w == "payloads") return true;  // packet contents
+    return lowercase(w).find("occupancy") != std::string::npos;
+  }
+};
+
+ProjectIndex build_project_index(const std::vector<FileIndex>& files) {
+  ProjectIndex project;
+  for (const FileIndex& file : files) {
+    for (const FunctionDef& fn : file.functions) {
+      project.by_name[fn.name].push_back(project.fns.size());
+      project.fns.push_back(&fn);
+      project.fn_file.push_back(&file);
+    }
+    for (const std::string& name : file.sensitive_names) {
+      project.sensitive_names.insert(name);
+    }
+  }
+  return project;
+}
+
+/// Memoized transitive reachability of "interesting" direct facts
+/// (write sinks or definite allocations) over the name-based call graph.
+/// `barrier(g)` stops propagation through a callee (custody handoff for
+/// privacy-flow; independently-policed functions for no-alloc).
+class ReachSolver {
+ public:
+  struct Witness {
+    std::size_t line = 0;  // in the *querying* function's file
+    std::string what;      // human description of the path
+  };
+
+  ReachSolver(const ProjectIndex& project,
+              std::function<const std::vector<TokenRef>&(const FunctionDef&)>
+                  direct_facts,
+              std::function<bool(std::size_t)> barrier)
+      : project_(project),
+        direct_facts_(std::move(direct_facts)),
+        barrier_(std::move(barrier)),
+        state_(project.fns.size(), 0),
+        reaches_(project.fns.size(), false),
+        witness_(project.fns.size()) {}
+
+  bool reaches(std::size_t id) {
+    if (state_[id] == 1) return false;  // cycle guard: cut, don't memoize
+    if (state_[id] == 2) return reaches_[id];
+    state_[id] = 1;
+    const FunctionDef& fn = *project_.fns[id];
+    bool found = false;
+    Witness w;
+    const std::vector<TokenRef>& direct = direct_facts_(fn);
+    if (!direct.empty()) {
+      found = true;
+      w = {direct.front().line, "`" + direct.front().name + "`"};
+    } else {
+      for (const TokenRef& call : fn.callees) {
+        const auto it = project_.by_name.find(call.name);
+        if (it == project_.by_name.end()) continue;
+        for (const std::size_t g : it->second) {
+          if (g == id || barrier_(g)) continue;
+          if (reaches(g)) {
+            found = true;
+            w = {call.line,
+                 "call to `" + call.name + "` (which reaches " +
+                     witness_[g].what + ")"};
+            break;
+          }
+        }
+        if (found) break;
+      }
+    }
+    state_[id] = 2;
+    reaches_[id] = found;
+    witness_[id] = std::move(w);
+    return found;
+  }
+
+  const Witness& witness(std::size_t id) const { return witness_[id]; }
+
+ private:
+  const ProjectIndex& project_;
+  std::function<const std::vector<TokenRef>&(const FunctionDef&)> direct_facts_;
+  std::function<bool(std::size_t)> barrier_;
+  std::vector<int> state_;  // 0 unvisited, 1 visiting, 2 done
+  std::vector<bool> reaches_;
+  std::vector<Witness> witness_;
+};
+
+/// privacy-flow: a src/ function that mentions a sensitive name and
+/// reaches a write sink outside the sanctioned custody modules. Inside a
+/// sanctioned module, a sensitive function with a *direct* sink must carry
+/// `pmiot: egress` so the audit set stays explicit.
+void check_privacy_flow(const ProjectIndex& project,
+                        std::map<const FileIndex*, std::vector<Diagnostic>>&
+                            per_file) {
+  ReachSolver sinks(
+      project,
+      [](const FunctionDef& fn) -> const std::vector<TokenRef>& {
+        return fn.sinks;
+      },
+      [&project](std::size_t g) {
+        // Custody handoff: calls into sanctioned modules or through an
+        // egress-annotated function do not propagate taint to callers.
+        return project.fns[g]->egress ||
+               in_sanctioned_module(project.fn_file[g]->path);
+      });
+  for (std::size_t id = 0; id < project.fns.size(); ++id) {
+    const FunctionDef& fn = *project.fns[id];
+    const FileIndex& file = *project.fn_file[id];
+    const bool sanctioned = in_sanctioned_module(file.path);
+    if (fn.egress && !sanctioned) {
+      per_file[&file].push_back(
+          {file.path, fn.line, "bad-annotation",
+           "'pmiot: egress' on `" + fn.display + "` outside the sanctioned "
+           "custody modules (src/defense/, src/campaign/); egress points "
+           "must live behind a sanctioned path"});
+    }
+    if (file.path.rfind("src/", 0) != 0) continue;
+    std::string sensitive_witness;
+    std::size_t sensitive_line = 0;
+    for (const TokenRef& ident : fn.idents) {
+      if (project.is_sensitive_ident(ident.name)) {
+        sensitive_witness = ident.name;
+        sensitive_line = ident.line;
+        break;
+      }
+    }
+    if (sensitive_witness.empty()) continue;
+    if (sanctioned) {
+      if (!fn.sinks.empty() && !fn.egress) {
+        per_file[&file].push_back(
+            {file.path, fn.sinks.front().line, "privacy-flow",
+             "`" + fn.display + "` in a sanctioned module handles sensitive "
+             "data (`" + sensitive_witness + "`) and writes directly (`" +
+             fn.sinks.front().name + "`); mark the custody boundary with "
+             "`pmiot: egress` so the audit set stays explicit"});
+      }
+      continue;
+    }
+    if (fn.egress) continue;  // already reported as bad-annotation above
+    if (!sinks.reaches(id)) continue;
+    const ReachSolver::Witness& w = sinks.witness(id);
+    per_file[&file].push_back(
+        {file.path, w.line, "privacy-flow",
+         "`" + fn.display + "` handles sensitive data (`" +
+             sensitive_witness + "` at line " +
+             std::to_string(sensitive_line) + ") and reaches a write sink: " +
+             w.what + "; route the release through src/defense or "
+             "src/campaign, or justify with allow(privacy-flow)"});
+  }
+}
+
+/// check-coverage: read_*/load_*/parse_* entry points under src/ must
+/// carry a PMIOT_CHECK in their body or in a directly-called helper.
+void check_check_coverage(const ProjectIndex& project,
+                          std::map<const FileIndex*, std::vector<Diagnostic>>&
+                              per_file) {
+  for (std::size_t id = 0; id < project.fns.size(); ++id) {
+    const FunctionDef& fn = *project.fns[id];
+    const FileIndex& file = *project.fn_file[id];
+    if (file.path.rfind("src/", 0) != 0) continue;
+    const bool parser_name = fn.name.rfind("read_", 0) == 0 ||
+                             fn.name.rfind("load_", 0) == 0 ||
+                             fn.name.rfind("parse_", 0) == 0;
+    if (!parser_name || !fn.has_params) continue;
+    bool covered = fn.has_check;
+    for (const TokenRef& call : fn.callees) {
+      if (covered) break;
+      const auto it = project.by_name.find(call.name);
+      if (it == project.by_name.end()) continue;
+      for (const std::size_t g : it->second) {
+        if (project.fns[g]->has_check) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (covered) continue;
+    per_file[&file].push_back(
+        {file.path, fn.line, "check-coverage",
+         "parser entry point `" + fn.display + "` never "
+         "PMIOT_CHECK-validates its input (no check in its body or in a "
+         "directly-called helper); validate decoded lengths/offsets before "
+         "indexing buffers"});
+  }
+}
+
+/// no-alloc: annotated functions must not reach a definite allocation.
+void check_no_alloc(const ProjectIndex& project,
+                    std::map<const FileIndex*, std::vector<Diagnostic>>&
+                        per_file) {
+  ReachSolver allocs(
+      project,
+      [](const FunctionDef& fn) -> const std::vector<TokenRef>& {
+        return fn.allocs;
+      },
+      [&project](std::size_t g) {
+        // An annotated callee is policed by its own annotation; do not
+        // double-report through it.
+        return project.fns[g]->no_alloc;
+      });
+  for (std::size_t id = 0; id < project.fns.size(); ++id) {
+    const FunctionDef& fn = *project.fns[id];
+    if (!fn.no_alloc) continue;
+    const FileIndex& file = *project.fn_file[id];
+    // Query direct facts and the graph; the annotated function itself is
+    // not its own barrier.
+    if (!fn.allocs.empty()) {
+      per_file[&file].push_back(
+          {file.path, fn.allocs.front().line, "no-alloc",
+           "`" + fn.display + "` is annotated `pmiot: no-alloc` but "
+           "allocates directly (`" + fn.allocs.front().name + "`); hoist "
+           "the allocation to setup or drop the annotation"});
+      continue;
+    }
+    if (allocs.reaches(id)) {
+      const ReachSolver::Witness& w = allocs.witness(id);
+      per_file[&file].push_back(
+          {file.path, w.line, "no-alloc",
+           "`" + fn.display + "` is annotated `pmiot: no-alloc` but reaches "
+           "a heap allocation: " + w.what + "; hoist the allocation to "
+           "setup or drop the annotation"});
+    }
+  }
+}
+
 }  // namespace
 
 std::string to_string(const Diagnostic& diagnostic) {
@@ -802,54 +979,104 @@ std::string describe_rule(const std::string& rule) {
   return "";
 }
 
-std::vector<Diagnostic> lint_source(const std::string& path,
-                                    const std::string& content) {
-  const ScannedSource source = scan(content);
-  const bool in_src = path.rfind("src/", 0) == 0;
-  const bool in_obs = path.rfind("src/obs/", 0) == 0;
-  const bool is_header = path.size() > 2 &&
-                         path.compare(path.size() - 2, 2, ".h") == 0;
+void Analyzer::add_file(const std::string& path, const std::string& content) {
+  files_.emplace_back(path, content);
+}
 
-  std::vector<Diagnostic> meta;
-  std::vector<Allow> allows = collect_allows(source, path, meta);
+std::vector<Diagnostic> Analyzer::run() {
+  // One pass: scan + index every translation unit.
+  std::vector<FileIndex> files;
+  files.reserve(files_.size());
+  for (const auto& [path, content] : files_) {
+    files.push_back(index_file(path, content));
+  }
+  const ProjectIndex project = build_project_index(files);
 
-  std::vector<Diagnostic> findings;
-  check_banned_calls(path, source.code, in_src, in_obs, findings);
-  check_par_regions(path, source.code, findings);
-  check_unordered_iteration(path, source.code, findings);
-  check_atomic_float(path, source.code, findings);
-  check_simd_guard(path, source.code, findings);
-  if (is_header) check_include_hygiene(path, source.code, findings);
+  const SeedHelperLookup helper_mentions_seed =
+      [&project](const std::string& name) {
+        const auto it = project.by_name.find(name);
+        if (it == project.by_name.end()) return false;
+        for (const std::size_t g : it->second) {
+          for (const TokenRef& ident : project.fns[g]->idents) {
+            if (lowercase(ident.name).find("seed") != std::string::npos) {
+              return true;
+            }
+          }
+        }
+        return false;
+      };
 
-  // Apply suppressions; every grant must earn its keep.
-  std::vector<Diagnostic> kept;
-  for (const auto& finding : findings) {
-    bool suppressed = false;
-    for (auto& allow : allows) {
-      if (allow.target_line == finding.line && allow.rule == finding.rule) {
-        allow.used = true;
-        suppressed = true;
+  // Project rules, bucketed per file so suppressions apply uniformly.
+  std::map<const FileIndex*, std::vector<Diagnostic>> project_findings;
+  check_privacy_flow(project, project_findings);
+  check_check_coverage(project, project_findings);
+  check_no_alloc(project, project_findings);
+
+  std::vector<Diagnostic> all;
+  for (const FileIndex& file : files) {
+    const std::string& path = file.path;
+    const std::string& code = file.scan.code;
+    const bool in_src = path.rfind("src/", 0) == 0;
+    const bool in_obs = path.rfind("src/obs/", 0) == 0;
+    const bool is_header =
+        path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+
+    std::vector<Diagnostic> meta;
+    std::vector<Allow> allows = collect_allows(file.scan, path, meta);
+
+    std::vector<Diagnostic> findings;
+    check_banned_calls(path, code, in_src, in_obs, findings);
+    check_par_regions(path, code, helper_mentions_seed, findings);
+    check_unordered_iteration(path, code, findings);
+    check_atomic_float(path, code, findings);
+    check_simd_guard(path, code, findings);
+    if (is_header) check_include_hygiene(path, code, findings);
+    const auto bucket = project_findings.find(&file);
+    if (bucket != project_findings.end()) {
+      for (const Diagnostic& d : bucket->second) findings.push_back(d);
+    }
+    for (const AnnotationError& err : file.annotation_errors) {
+      findings.push_back({path, err.line, "bad-annotation", err.message});
+    }
+
+    // Apply suppressions; every grant must earn its keep.
+    std::vector<Diagnostic> kept;
+    for (const auto& finding : findings) {
+      bool suppressed = false;
+      for (auto& allow : allows) {
+        if (allow.target_line == finding.line && allow.rule == finding.rule) {
+          allow.used = true;
+          suppressed = true;
+        }
+      }
+      if (!suppressed) kept.push_back(finding);
+    }
+    for (const auto& allow : allows) {
+      if (!allow.used) {
+        kept.push_back({path, allow.directive_line, "stale-suppression",
+                        "allow(" + allow.rule + ") matched no " + allow.rule +
+                            " violation on line " +
+                            std::to_string(allow.target_line) +
+                            "; remove the suppression"});
       }
     }
-    if (!suppressed) kept.push_back(finding);
+    for (auto& diagnostic : meta) kept.push_back(std::move(diagnostic));
+    for (auto& diagnostic : kept) all.push_back(std::move(diagnostic));
   }
-  for (const auto& allow : allows) {
-    if (!allow.used) {
-      kept.push_back({path, allow.directive_line, "stale-suppression",
-                      "allow(" + allow.rule + ") matched no " + allow.rule +
-                          " violation on line " +
-                          std::to_string(allow.target_line) +
-                          "; remove the suppression"});
-    }
-  }
-  for (auto& diagnostic : meta) kept.push_back(std::move(diagnostic));
 
-  std::sort(kept.begin(), kept.end(),
+  std::sort(all.begin(), all.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.line, a.rule, a.message) <
-                     std::tie(b.line, b.rule, b.message);
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
             });
-  return kept;
+  return all;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content) {
+  Analyzer analyzer;
+  analyzer.add_file(path, content);
+  return analyzer.run();
 }
 
 }  // namespace pmiot::lint

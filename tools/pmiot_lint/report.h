@@ -1,0 +1,32 @@
+// pmiot-lint report writers: machine-readable JSON and SARIF 2.1.0
+// renderings of a diagnostic set, plus the text baseline format the CI
+// diff mode consumes.
+//
+// Baseline format: one `rule<space>file` pair per line, `#` comments and
+// blank lines ignored. A baseline entry waives *every* finding of that
+// rule in that file — coarse on purpose, so line churn does not
+// invalidate it; new rules or newly-affected files still fail.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pmiot_lint/lint.h"
+
+namespace pmiot::lint {
+
+/// Stable JSON rendering: {"tool":"pmiot_lint","findings":[...]}.
+std::string to_json(const std::vector<Diagnostic>& diags);
+
+/// SARIF 2.1.0 rendering (one run, one result per diagnostic) for code
+/// scanning UIs.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+/// The baseline key of a diagnostic: "rule file".
+std::string baseline_key(const Diagnostic& d);
+
+/// Parses baseline text into its key set.
+std::set<std::string> parse_baseline(const std::string& text);
+
+}  // namespace pmiot::lint

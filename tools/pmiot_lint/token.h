@@ -1,0 +1,78 @@
+// pmiot-lint token scanner: the layer that turns a C++ translation unit
+// into (a) a blanked text where comments, string/char literals, and
+// preprocessor-disabled regions cannot masquerade as code, and (b) a token
+// stream the symbol indexer and the semantic rules walk.
+//
+// The scanner is deliberately not a full lexer — it exists so lint rules
+// never fire on rule keywords inside strings or comments (the regex
+// scanner's false-positive class) and so the indexer can find function
+// definitions and call sites by token shape. Handled corner cases, each
+// pinned by a fixture test in tests/lint_test.cpp:
+//
+//   * line and block comments, including block comments spanning lines and
+//     the pathological "/*/" non-terminator;
+//   * string literals with escaped quotes, and raw string literals with
+//     their full prefix set (R"", LR"", uR"", UR"", u8R"");
+//   * char literals vs C++14 digit separators (1'000'000 — the sequence
+//     that made the old scanner treat trailing comment text as code);
+//   * backslash line continuations inside line comments and preprocessor
+//     directives (phase-2 splicing happens before comment recognition, so
+//     a comment ending in `\` swallows the next physical line);
+//   * `#if 0` / `#if false` regions: their contents are invisible to every
+//     rule, exactly like they are invisible to the compiler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmiot::lint {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kNumber,
+  kString,  ///< blanked contents; text is empty
+  kChar,    ///< blanked contents; text is empty
+  kPunct,   ///< one punctuation character in `text`
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;        ///< spelling (identifiers/numbers/punct)
+  std::size_t line = 0;    ///< 1-based line of the token's first character
+  std::size_t offset = 0;  ///< byte offset into the original source
+};
+
+/// Everything the scanner extracts from one translation unit.
+struct ScanResult {
+  /// The source with comment bodies, literal contents, and
+  /// preprocessor-disabled regions blanked to spaces. Same length as the
+  /// input; newlines preserved, so offsets and line numbers survive.
+  /// Preprocessor directive lines stay visible (the simd-guard and
+  /// include-hygiene rules read them).
+  std::string code;
+
+  /// Comment text per line (comments[i] belongs to line i+1). Comments
+  /// inside disabled preprocessor regions are dropped, so `allow(...)`
+  /// grants and `pmiot:` annotations there do not apply.
+  std::vector<std::string> comments;
+
+  /// Code tokens in source order. Preprocessor directive lines and
+  /// disabled regions contribute no tokens.
+  std::vector<Token> tokens;
+
+  /// True when 1-based `line` carries code (a token or a preprocessor
+  /// directive) — the anchor rule for comment-line directives.
+  bool line_has_code(std::size_t line) const {
+    return line >= 1 && line <= code_lines.size() && code_lines[line - 1];
+  }
+
+  std::vector<bool> code_lines;       ///< per line: carries code
+  std::vector<bool> directive_lines;  ///< per line: part of a # directive
+};
+
+/// Scans one translation unit. Never touches the filesystem.
+ScanResult scan_text(const std::string& text);
+
+}  // namespace pmiot::lint
