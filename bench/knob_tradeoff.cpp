@@ -13,11 +13,13 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <string_view>
 
 #include "bench_json.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "core/privacy.h"
+#include "net/arena.h"
 
 using namespace pmiot;
 
@@ -31,7 +33,14 @@ double ms_between(Clock::time_point t0, Clock::time_point t1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Opt-in network dimension: default output stays byte-identical so the
+  // CI determinism diffs over this bench keep their baseline.
+  bool with_net = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--net") with_net = true;
+  }
+
   Rng rng(21);
   const auto home =
       synth::simulate_home(synth::home_b(), CivilDate{2017, 6, 5}, 7, rng);
@@ -90,6 +99,41 @@ int main() {
          "  * CHPr rides a load the home heats anyway: occupancy leakage\n"
          "    falls steadily with theta at modest cost — the tunable\n"
          "    tradeoff the paper's SIII-E calls for.\n";
+
+  if (with_net) {
+    // The same knob, one layer down: traffic reshaping vs the supervised
+    // fingerprint panel (see net/arena.h). Privacy is the strongest
+    // attacker's device-identification MCC; utility is bandwidth overhead
+    // and added queueing latency.
+    net::ArenaOptions options;
+    options.duration_s = 1800.0;
+    options.window_s = 300.0;
+    options.intensities = intensities;
+    const auto t0 = Clock::now();
+    const auto arena = net::run_arena(options);
+    const double arena_ms = ms_between(t0, Clock::now());
+    json.result("net_arena", arena_ms,
+                static_cast<double>(arena.cells.size()) / (arena_ms / 1e3),
+                "cells/s");
+    Table table({"theta", "fingerprint MCC", "naive MCC", "bytes overhead",
+                 "added latency s"});
+    std::size_t cell = 0;
+    for (const auto& name : options.defenses) {
+      for (std::size_t i = 0; i < options.intensities.size(); ++i, ++cell) {
+        const auto& c = arena.cells[cell];
+        table.add_row()
+            .cell(c.intensity, 2)
+            .cell(c.privacy_mcc)
+            .cell(c.naive_mcc)
+            .cell(c.added_bytes_fraction)
+            .cell(c.mean_added_latency_s);
+      }
+      table.print(std::cout, "traffic defense: " + name);
+      std::cout << '\n';
+      table = Table({"theta", "fingerprint MCC", "naive MCC",
+                     "bytes overhead", "added latency s"});
+    }
+  }
 
   json.metric("defenses", static_cast<double>(defenses.size()));
   if (json.write()) std::cout << "wrote " << json.path() << '\n';

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 
@@ -29,7 +30,14 @@ ts::TimeSeries smooth_reporting(const ts::TimeSeries& load, int radius) {
 double billing_error(const ts::TimeSeries& original,
                      const ts::TimeSeries& modified) {
   const double base = original.energy_kwh();
-  PMIOT_CHECK(base > 0.0, "original trace has no energy");
+  if (base <= 0.0) {
+    // Relative error against a zero denominator: exact when the defense
+    // also reports nothing, unboundedly wrong the moment it bills a
+    // zero-consumption home for anything.
+    return modified.energy_kwh() <= 0.0
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
   return std::fabs(modified.energy_kwh() - base) / base;
 }
 

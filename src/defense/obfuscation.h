@@ -27,6 +27,11 @@ ts::TimeSeries smooth_reporting(const ts::TimeSeries& load, int radius);
 
 /// Relative billing error introduced by a defense: |modified - original|
 /// total energy over the original (both in kWh).
+///
+/// Zero-energy originals (an all-off trace is a legitimate capture, not a
+/// caller error): error is 0 when the modified trace is also energy-free,
+/// +infinity when the defense conjured energy out of nothing — any nonzero
+/// bill on a zero-consumption home is unboundedly wrong in relative terms.
 double billing_error(const ts::TimeSeries& original,
                      const ts::TimeSeries& modified);
 

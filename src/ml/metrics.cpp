@@ -1,5 +1,6 @@
 #include "ml/metrics.h"
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -68,6 +69,31 @@ double ConfusionMatrix::macro_f1() const {
   double s = 0.0;
   for (int c = 0; c < num_classes_; ++c) s += f1(c);
   return s / num_classes_;
+}
+
+double ConfusionMatrix::mcc() const {
+  // Gorodkin's R_K over the raw counts:
+  //   R_K = (c*s - sum_k p_k*t_k) /
+  //         sqrt((s^2 - sum_k p_k^2) * (s^2 - sum_k t_k^2))
+  // with c = trace, s = total, t_k = row (actual) sums, p_k = column
+  // (predicted) sums. Doubles throughout: the squared sums overflow
+  // std::size_t long before they lose double precision at bench scales.
+  const double s = static_cast<double>(total_);
+  double c = 0.0, pt = 0.0, pp = 0.0, tt = 0.0;
+  for (int k = 0; k < num_classes_; ++k) {
+    c += static_cast<double>(count(k, k));
+    double t_k = 0.0, p_k = 0.0;
+    for (int j = 0; j < num_classes_; ++j) {
+      t_k += static_cast<double>(count(k, j));
+      p_k += static_cast<double>(count(j, k));
+    }
+    pt += p_k * t_k;
+    pp += p_k * p_k;
+    tt += t_k * t_k;
+  }
+  const double denom = std::sqrt((s * s - pp) * (s * s - tt));
+  if (denom == 0.0) return 0.0;
+  return (c * s - pt) / denom;
 }
 
 std::string ConfusionMatrix::to_string(

@@ -31,6 +31,13 @@ class ConfusionMatrix {
   double f1(int cls) const;
   double macro_f1() const;
 
+  /// Multiclass Matthews correlation coefficient (Gorodkin's R_K),
+  /// reducing to stats::BinaryConfusion::mcc for two classes. In [-1, 1];
+  /// 0 when either marginal is degenerate (all samples one actual class,
+  /// or one predicted class) — chance-level by convention, matching the
+  /// binary version's zero-denominator rule.
+  double mcc() const;
+
   /// Pretty table with per-class rows, for bench output.
   std::string to_string(const std::vector<std::string>& class_names = {}) const;
 

@@ -60,7 +60,8 @@ void check_feature_layout() {
 
 std::vector<double> extract_window_features(std::span<const Packet> packets,
                                             std::uint32_t device_ip,
-                                            double t0, double t1) {
+                                            double t0, double t1,
+                                            std::uint32_t router_ip) {
   PMIOT_CHECK(t1 > t0, "empty window");
   const double window_s = t1 - t0;
 
@@ -84,7 +85,7 @@ std::vector<double> extract_window_features(std::span<const Packet> packets,
     flow_table.add(p);
     if (p.protocol == Protocol::kUdp) ++udp;
     const auto peer = up ? p.dst_ip : p.src_ip;
-    if (is_lan(peer) && (peer & 0xff) != 1) {
+    if (is_lan(peer) && peer != router_ip) {
       ++lan_pkts;  // LAN peer other than the router
     } else if (!is_lan(peer)) {
       insert_unique(remotes, peer);
@@ -149,10 +150,12 @@ std::vector<double> extract_window_features(std::span<const Packet> packets,
 std::vector<WindowRow> windowed_features(std::span<const Packet> packets,
                                          std::uint32_t device_ip,
                                          double duration_s, double window_s,
-                                         bool keep_idle_windows) {
+                                         bool keep_idle_windows,
+                                         std::uint32_t router_ip) {
   PMIOT_CHECK(window_s > 0.0 && duration_s >= window_s,
               "need at least one full window");
-  WindowAccumulator accumulator(device_ip, window_s, keep_idle_windows);
+  WindowAccumulator accumulator(device_ip, window_s, keep_idle_windows,
+                                router_ip);
   for (const auto& p : packets) accumulator.add(p);
   return accumulator.finish(duration_s);
 }

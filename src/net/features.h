@@ -37,13 +37,24 @@ inline constexpr std::size_t kFeaturePktRateDown = 1;  ///< "pkt_rate_down"
 /// claim to (throws InternalError on drift). Called at gateway startup.
 void check_feature_layout();
 
+/// The router identity the extractors assume when the caller does not pass
+/// one (10.0.0.1, the default `GatewayOptions::router_ip`). Kept as a named
+/// constant so the default-path output is pinned, not incidental.
+inline constexpr std::uint32_t kDefaultRouterIp = (10u << 24) | 1u;
+
 /// Computes the feature vector for one device (identified by its LAN IP)
 /// over packets within [t0, t1). `packets` may contain other devices'
 /// traffic; only packets to/from `device_ip` count. Returns a vector sized
 /// feature_names().size() (all zeros if the device was silent).
+/// `router_ip` is the gateway's own address: traffic to/from it is neither
+/// a LAN peer (`lan_fraction`) nor a remote (`distinct_remotes`). Deployments
+/// with a non-default `GatewayOptions::router_ip` must thread it through, or
+/// the router is miscounted as an ordinary LAN peer.
 std::vector<double> extract_window_features(std::span<const Packet> packets,
                                             std::uint32_t device_ip,
-                                            double t0, double t1);
+                                            double t0, double t1,
+                                            std::uint32_t router_ip =
+                                                kDefaultRouterIp);
 
 /// One window's feature vector, tagged with its wall-clock window number
 /// (window k covers [k * window_s, (k+1) * window_s)), so downstream code
@@ -62,6 +73,8 @@ struct WindowRow {
 std::vector<WindowRow> windowed_features(std::span<const Packet> packets,
                                          std::uint32_t device_ip,
                                          double duration_s, double window_s,
-                                         bool keep_idle_windows = false);
+                                         bool keep_idle_windows = false,
+                                         std::uint32_t router_ip =
+                                             kDefaultRouterIp);
 
 }  // namespace pmiot::net

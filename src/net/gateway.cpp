@@ -80,7 +80,8 @@ std::vector<DeviceRows> SmartGateway::extract_rows(
     // under fleet churn, not an error.
     if (windows > 0) {
       device.rows =
-          windowed_features(packets, ip, duration_s, options_.window_s);
+          windowed_features(packets, ip, duration_s, options_.window_s,
+                            /*keep_idle_windows=*/false, options_.router_ip);
     }
     out.push_back(std::move(device));
   }

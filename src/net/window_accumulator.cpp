@@ -39,10 +39,12 @@ void insert_unique(std::vector<T>& values, T value) {
 }  // namespace
 
 WindowAccumulator::WindowAccumulator(std::uint32_t device_ip, double window_s,
-                                     bool keep_idle_windows)
+                                     bool keep_idle_windows,
+                                     std::uint32_t router_ip)
     : device_ip_(device_ip),
       window_s_(window_s),
       keep_idle_windows_(keep_idle_windows),
+      router_ip_(router_ip),
       num_buckets_(std::max<std::size_t>(
           static_cast<std::size_t>(std::ceil(window_s / 10.0)), 1)),
       window_end_(window_s),
@@ -69,7 +71,7 @@ void WindowAccumulator::add(const Packet& p) {
   state_.flow_table.add(p);
   if (p.protocol == Protocol::kUdp) ++state_.udp;
   const auto peer = up ? p.dst_ip : p.src_ip;
-  if (is_lan(peer) && (peer & 0xff) != 1) {
+  if (is_lan(peer) && peer != router_ip_) {
     ++state_.lan_pkts;  // LAN peer other than the router
   } else if (!is_lan(peer)) {
     insert_unique(state_.remotes, peer);

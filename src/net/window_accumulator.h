@@ -33,8 +33,11 @@ class WindowAccumulator {
   /// `keep_idle_windows`: emit an all-zero row for windows with no device
   /// traffic instead of skipping them. Either way `WindowRow::window_index`
   /// is the wall-clock window number, so rows never silently shift.
+  /// `router_ip` mirrors `extract_window_features`: the gateway's own
+  /// address, excluded from both the LAN-peer and remote tallies.
   WindowAccumulator(std::uint32_t device_ip, double window_s,
-                    bool keep_idle_windows = false);
+                    bool keep_idle_windows = false,
+                    std::uint32_t router_ip = kDefaultRouterIp);
 
   /// Ingests one packet. Timestamps must be non-decreasing; packets with a
   /// negative timestamp or not involving the device are ignored (after
@@ -69,6 +72,7 @@ class WindowAccumulator {
   std::uint32_t device_ip_;
   double window_s_;
   bool keep_idle_windows_;
+  std::uint32_t router_ip_;
   std::size_t num_buckets_;
   std::size_t current_ = 0;   ///< index of the open window
   double window_end_;         ///< (current_ + 1) * window_s_

@@ -389,8 +389,21 @@ TEST(BillingError, MeasuresEnergyDistortion) {
   ts::TimeSeries base(ts::TraceMeta{}, {1.0, 1.0});
   ts::TimeSeries up(ts::TraceMeta{}, {1.1, 1.1});
   EXPECT_NEAR(billing_error(base, up), 0.1, 1e-9);
+}
+
+TEST(BillingError, ZeroEnergyOriginalHasDefinedSemantics) {
+  // An all-off trace is a legitimate capture. Relative error is 0 when the
+  // defense also reports no energy, +inf the moment it bills a
+  // zero-consumption home for anything (any nonzero bill is unboundedly
+  // wrong relative to a zero denominator).
+  ts::TimeSeries base(ts::TraceMeta{}, {1.0, 1.0});
   ts::TimeSeries zero(ts::TraceMeta{}, {0.0, 0.0});
-  EXPECT_THROW(billing_error(zero, base), InvalidArgument);
+  ts::TimeSeries also_zero(ts::TraceMeta{}, {0.0, 0.0});
+  EXPECT_EQ(billing_error(zero, also_zero), 0.0);
+  EXPECT_EQ(billing_error(zero, base),
+            std::numeric_limits<double>::infinity());
+  // The positive-energy path is untouched: modified may still be zero.
+  EXPECT_NEAR(billing_error(base, zero), 1.0, 1e-9);
 }
 
 // --- differential privacy ---------------------------------------------------------

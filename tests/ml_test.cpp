@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/stats.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 #include "ml/kmeans.h"
@@ -334,6 +335,38 @@ TEST(ConfusionMatrix, ToStringContainsNames) {
   const auto text = cm.to_string({"cat", "dog"});
   EXPECT_NE(text.find("cat"), std::string::npos);
   EXPECT_NE(text.find("dog"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, MccHandComputedThreeClass) {
+  // trace c = 4, s = 6, row sums t = {2,2,2}, column sums p = {2,2,2}:
+  // R_K = (4*6 - 12) / sqrt((36-12)(36-12)) = 12/24 = 0.5.
+  const std::vector<int> pred{0, 1, 2, 0, 1, 2};
+  const std::vector<int> actual{0, 1, 2, 0, 2, 1};
+  ConfusionMatrix cm(pred, actual, 3);
+  EXPECT_DOUBLE_EQ(cm.mcc(), 0.5);
+}
+
+TEST(ConfusionMatrix, MccBoundsAndDegenerateCases) {
+  const std::vector<int> perfect{0, 1, 2, 0};
+  EXPECT_DOUBLE_EQ(ConfusionMatrix(perfect, perfect, 3).mcc(), 1.0);
+  // Anti-correlated binary labels.
+  const std::vector<int> pred{1, 0, 1, 0};
+  const std::vector<int> actual{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(ConfusionMatrix(pred, actual, 2).mcc(), -1.0);
+  // Degenerate marginals (one predicted class / one actual class) are
+  // chance level by convention, matching the binary rule.
+  const std::vector<int> constant{1, 1, 1, 1};
+  const std::vector<int> mixed{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(ConfusionMatrix(constant, mixed, 2).mcc(), 0.0);
+  EXPECT_DOUBLE_EQ(ConfusionMatrix(mixed, constant, 2).mcc(), 0.0);
+}
+
+TEST(ConfusionMatrix, MccReducesToBinaryMcc) {
+  const std::vector<int> pred{1, 0, 1, 1, 0, 1, 0, 0, 1, 1};
+  const std::vector<int> actual{1, 0, 0, 1, 0, 1, 1, 0, 0, 1};
+  ConfusionMatrix cm(pred, actual, 2);
+  const auto binary = stats::confusion(pred, actual);
+  EXPECT_DOUBLE_EQ(cm.mcc(), binary.mcc());
 }
 
 // --- parameterized sweeps -----------------------------------------------------------

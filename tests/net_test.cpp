@@ -347,6 +347,40 @@ TEST(Features, WindowedKeepsIndicesAcrossIdleGaps) {
   for (double v : all[2].features) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(Features, RouterIpIsConfigurable) {
+  // A deployment whose gateway is not 10.0.0.1 must not count the router
+  // as an ordinary LAN peer (lan_fraction) in either extraction path.
+  const auto dev = make_ip(10, 0, 0, 10);
+  const auto router = make_ip(10, 0, 0, 254);
+  std::vector<Packet> packets{
+      {1.0, dev, router, 40000, 53, Protocol::kUdp, 60},
+      {2.0, dev, make_ip(52, 20, 0, 1), 40000, 443, Protocol::kTcp, 500},
+  };
+  const std::size_t lan_fraction = 11;
+
+  // Default router identity: 10.0.0.254 looks like a LAN peer.
+  const auto misread = extract_window_features(packets, dev, 0.0, 600.0);
+  EXPECT_DOUBLE_EQ(misread[lan_fraction], 0.5);
+  // Threading the real router through excludes it, like 10.0.0.1 would be.
+  const auto read = extract_window_features(packets, dev, 0.0, 600.0, router);
+  EXPECT_DOUBLE_EQ(read[lan_fraction], 0.0);
+
+  // Both paths agree for the non-default router too.
+  const auto rows = windowed_features(packets, dev, 600.0, 600.0,
+                                      /*keep_idle_windows=*/false, router);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].features, read);
+  WindowAccumulator accumulator(dev, 600.0, /*keep_idle_windows=*/false,
+                                router);
+  for (const auto& p : packets) accumulator.add(p);
+  EXPECT_EQ(accumulator.finish(600.0).at(0).features, read);
+}
+
+TEST(Features, DefaultRouterConstantMatchesGatewayDefault) {
+  EXPECT_EQ(kDefaultRouterIp, make_ip(10, 0, 0, 1));
+  EXPECT_EQ(GatewayOptions{}.router_ip, kDefaultRouterIp);
+}
+
 // --- the streaming accumulator ----------------------------------------------------
 
 // Random gateway-style traffic exercising every feature: cloud exchanges,
